@@ -1,0 +1,43 @@
+// The interconnect upgrade the paper anticipates (Section 4): "We will
+// shortly be replacing our 100 Megabyte interconnect with a 1 Gigabyte
+// Ethernet interconnect and expect that this will further improve the
+// relative speedup results."
+//
+// This bench runs the same workload on the Fast-Ethernet cost preset and
+// the Gigabit preset and reports both speedup curves.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n = BenchRows(50000, 1000000);
+  const auto ps = ProcessorSweep();
+  DatasetSpec spec = DatasetSpec::PaperDefault(n);
+  spec.seed = 161;
+  const auto selected = AllViews(8);
+
+  std::vector<std::string> names{"100Mb eth", "1Gb eth"};
+  std::vector<std::vector<double>> times(2);
+  std::vector<double> t1(2);
+  const CostParams presets[2] = {FastEthernetBeowulf(), GigabitBeowulf()};
+  for (int s = 0; s < 2; ++s) {
+    t1[s] = RunSequentialSeconds(spec, selected, presets[s]);
+    for (int p : ps) {
+      times[s].push_back(
+          RunParallel(spec, p, selected, {}, presets[s]).sim_seconds);
+    }
+  }
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "# Interconnect upgrade: 100 Mb vs 1 Gb Ethernet, n=%lld, "
+                "d=8, cards 256..6",
+                static_cast<long long>(n));
+  PrintTimePanel(title, names, ps, times);
+  PrintSpeedupPanel(names, ps, t1, times);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: is the Case-2 overlap-routing path worth having, or could
+// Merge–Partitions simply re-sort every non-prefix view (Case 3)?
+//
+// DESIGN.md calls this out: Case 2 exists because routing only the
+// overlapping rows is far cheaper than a full parallel re-sort when the
+// projected distribution is already balanced. Forcing Case 3 shows the
+// price. Uniform data (alpha = 0) favours Case 2 most; light skew narrows
+// the gap because more views genuinely need the re-sort.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n = BenchRows(50000, 1000000);
+  const int p = static_cast<int>(EnvInt("SNCUBE_MAXPROC", 16));
+  const auto selected = AllViews(8);
+
+  std::printf("# Ablation: Case-2 overlap routing vs forcing Case-3 "
+              "re-sorts, n=%lld, d=8, p=%d\n",
+              static_cast<long long>(n), p);
+  std::printf("%-8s %-12s %14s %16s %8s %8s %8s\n", "alpha", "mode",
+              "sim_seconds", "merge_comm_MB", "case1", "case2", "case3");
+  for (double alpha : {0.0, 1.0}) {
+    for (bool force : {false, true}) {
+      DatasetSpec spec = DatasetSpec::PaperDefault(n);
+      spec.alphas.assign(8, alpha);
+      spec.seed = 131;
+      ParallelCubeOptions opts;
+      opts.force_case3 = force;
+      const auto result = RunParallel(spec, p, selected, opts);
+      std::printf("%-8.1f %-12s %14.2f %16.2f %8d %8d %8d\n", alpha,
+                  force ? "force-case3" : "adaptive", result.sim_seconds,
+                  result.bytes_merge / 1048576.0, result.merge.case1_views,
+                  result.merge.case2_views, result.merge.case3_views);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: work partitioning (the introduction's other family, [3, 5, 15,
+// 16, 18]) vs the paper's data partitioning (Procedure 1).
+//
+// Work partitioning needs every processor to read the whole raw data set
+// (shared disk) and balances only as well as its size estimates; data
+// partitioning reads 1/p of the data per processor and rebalances at the
+// merge. The crossover the paper banks on: as p grows, work partitioning
+// runs out of coarse-grained pipelines to hand out, while Procedure 1 keeps
+// splitting rows.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "core/workpart_baseline.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+namespace {
+
+struct WorkPartResult {
+  double sim_seconds = 0;
+  double est_imbalance = 0;
+  int pipelines = 0;
+};
+
+WorkPartResult RunWorkPart(const DatasetSpec& spec, int p) {
+  const Schema schema = spec.MakeSchema();
+  const Relation whole = GenerateDataset(spec);  // the "shared disk"
+  Cluster cluster(p);
+  std::vector<WorkPartitionStats> stats(static_cast<std::size_t>(p));
+  cluster.Run([&](Comm& comm) {
+    WorkPartitionStats st;
+    WorkPartitionCube(comm, whole, schema, AggFn::kSum, &st);
+    stats[static_cast<std::size_t>(comm.rank())] = st;
+  });
+  return {cluster.SimTimeSeconds(), stats[0].estimated_imbalance,
+          stats[0].pipelines};
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = BenchRows(30000, 1000000);
+  DatasetSpec spec = DatasetSpec::PaperDefault(n);
+  spec.seed = 171;
+  const auto selected = AllViews(8);
+
+  std::printf("# Ablation: work partitioning (shared disk) vs Procedure 1 "
+              "(shared nothing), n=%lld, d=8\n",
+              static_cast<long long>(n));
+  std::printf(
+      "%-6s %14s %14s %14s %16s %16s\n", "p", "workpart_s", "procedure1_s",
+      "shared_GB_rd", "shared_floor_s", "workpart_eff_s");
+  const double raw_bytes =
+      static_cast<double>(n) * (8 * sizeof(Key) + sizeof(Measure));
+  // A shared array ~4x one local disk (a generous RAID assumption); the
+  // whole raw file is re-read once per pipeline regardless of p, so this is
+  // a floor on the makespan no processor count can push down.
+  const DiskParams dparams;
+  const double local_disk_bw = static_cast<double>(dparams.block_bytes) /
+                               FastEthernetBeowulf().disk_block_s;
+  const double shared_bw = 4.0 * local_disk_bw;
+  for (double alpha : {0.0, 3.0}) {
+    DatasetSpec run_spec = spec;
+    run_spec.alphas.assign(8, 0.0);
+    run_spec.alphas[0] = alpha;
+    std::printf("-- leading-dimension skew alpha0 = %.0f --\n", alpha);
+    for (int p : {2, 4, 8, 16}) {
+      if (p > EnvInt("SNCUBE_MAXPROC", 16)) continue;
+      const auto wp = RunWorkPart(run_spec, p);
+      const auto ours = RunParallel(run_spec, p, selected);
+      const double shared_read = raw_bytes * wp.pipelines;
+      const double floor = shared_read / shared_bw;
+      std::printf("%-6d %14.2f %14.2f %14.2f %16.2f %16.2f\n", p,
+                  wp.sim_seconds, ours.sim_seconds,
+                  shared_read / 1073741824.0, floor,
+                  std::max(wp.sim_seconds, floor));
+    }
+  }
+  std::printf(
+      "\n(workpart_eff includes the shared-array bandwidth floor: every\n"
+      " pipeline re-scans the whole raw file from ONE array, so the read\n"
+      " volume never shrinks with p — the scalability wall, on top of the\n"
+      " hardware cost, that motivates the paper's shared-nothing design.\n"
+      " Procedure 1 reads 1/p of the data per PRIVATE disk instead.)\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "seqcube/seq_cube.h"
+
+namespace sncube::bench {
+
+RunResult RunParallel(const DatasetSpec& spec, int p,
+                      const std::vector<ViewId>& selected,
+                      const ParallelCubeOptions& opts, CostParams cost) {
+  const Schema schema = spec.MakeSchema();
+  Cluster cluster(p, cost);
+  RunResult result;
+  std::vector<std::uint64_t> rows(p, 0);
+  std::vector<std::uint64_t> bytes(p, 0);
+  std::vector<MergeStats> merges(p);
+  cluster.Run([&](Comm& comm) {
+    const Relation local = GenerateSlice(spec, p, comm.rank());
+    ParallelCubeStats stats;
+    const CubeResult cube =
+        BuildParallelCube(comm, local, schema, selected, opts, &stats);
+    rows[comm.rank()] = cube.TotalRows();
+    bytes[comm.rank()] = cube.TotalBytes();
+    merges[comm.rank()] = stats.merge;
+  });
+  result.sim_seconds = cluster.SimTimeSeconds();
+  result.bytes_total = cluster.BytesSent();
+  result.bytes_merge = cluster.BytesSent("merge");
+  for (int r = 0; r < p; ++r) {
+    result.cube_rows += rows[r];
+    result.cube_bytes += bytes[r];
+  }
+  result.merge = merges[0];
+  return result;
+}
+
+double RunSequentialSeconds(const DatasetSpec& spec,
+                            const std::vector<ViewId>& selected,
+                            CostParams cost) {
+  const Schema schema = spec.MakeSchema();
+  const bool full = selected.size() == (1u << schema.dims());
+  Cluster cluster(1, cost);
+  cluster.Run([&](Comm& comm) {
+    const Relation raw = GenerateSlice(spec, 1, 0);
+    ExecStats stats;
+    if (full) {
+      SequentialPipesortCube(raw, schema, AggFn::kSum, &comm.disk(), &stats);
+    } else {
+      SequentialCube(raw, schema, selected, AggFn::kSum, &comm.disk(),
+                     &stats);
+    }
+    comm.ChargeScanRecords(stats.records_scanned + stats.rows_emitted);
+    comm.ChargeCpu(stats.sort_cost_units * comm.cost().cpu_sort_record_s);
+  });
+  return cluster.SimTimeSeconds();
+}
+
+double OverlappedSimTime(const Cluster& cluster, int d) {
+  double worst = 0;
+  for (const auto& rs : cluster.stats()) {
+    // Per partition: local work (cpu + disk across all its phases) and the
+    // merge-phase network time.
+    std::vector<double> work(static_cast<std::size_t>(d), 0.0);
+    std::vector<double> merge_net(static_cast<std::size_t>(d), 0.0);
+    double other_net = 0;
+    for (const auto& [name, ps] : rs.phases) {
+      const auto slash = name.rfind('/');
+      int part = -1;
+      if (slash != std::string::npos) {
+        part = std::atoi(name.c_str() + slash + 1);
+      }
+      if (part < 0 || part >= d) {
+        other_net += ps.net_s + ps.cpu_s + ps.disk_s;
+        continue;
+      }
+      work[part] += ps.cpu_s + ps.disk_s;
+      if (name.rfind("merge", 0) == 0) {
+        merge_net[part] += ps.net_s;
+      } else {
+        other_net += ps.net_s;
+      }
+    }
+    // Partition i's merge traffic hides behind partition i+1's local work;
+    // the last partition's merge cannot be hidden:
+    //   T = work_0 + Σ_i max(merge_net_i, work_{i+1}) + merge_net_{d-1}.
+    double t = other_net + work[0];
+    for (int i = 0; i + 1 < d; ++i) {
+      t += std::max(merge_net[static_cast<std::size_t>(i)],
+                    work[static_cast<std::size_t>(i) + 1]);
+    }
+    t += merge_net[static_cast<std::size_t>(d) - 1];
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+std::vector<int> ProcessorSweep() {
+  const int max_p = static_cast<int>(EnvInt("SNCUBE_MAXPROC", 16));
+  std::vector<int> ps;
+  for (int p : {1, 2, 4, 8, 12, 16}) {
+    if (p <= max_p) ps.push_back(p);
+  }
+  return ps;
+}
+
+void PrintTimePanel(const std::string& title,
+                    const std::vector<std::string>& series_names,
+                    const std::vector<int>& ps,
+                    const std::vector<std::vector<double>>& times) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-6s", "p");
+  for (const auto& name : series_names) std::printf("  %14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::printf("%-6d", ps[i]);
+    for (const auto& series : times) std::printf("  %14.2f", series[i]);
+    std::printf("\n");
+  }
+}
+
+void PrintSpeedupPanel(const std::vector<std::string>& series_names,
+                       const std::vector<int>& ps,
+                       const std::vector<double>& t1,
+                       const std::vector<std::vector<double>>& times) {
+  std::printf("\nrelative speedup (T_seq / T_p; linear = p)\n");
+  std::printf("%-6s", "p");
+  for (const auto& name : series_names) std::printf("  %14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::printf("%-6d", ps[i]);
+    for (std::size_t s = 0; s < times.size(); ++s) {
+      std::printf("  %14.2f", t1[s] / times[s][i]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace sncube::bench

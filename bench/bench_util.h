@@ -1,0 +1,69 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every figure bench runs the real algorithms on the simulated cluster and
+// reports SIMULATED parallel wall-clock seconds (the BSP clock built from
+// measured operation counts — see DESIGN.md §2). Relative speedup uses the
+// classic sequential Pipesort on one simulated node as T(1), exactly the
+// paper's baseline [3].
+//
+// Scale: every bench defaults to a container-friendly row count and scales
+// with SNCUBE_SCALE; SNCUBE_PAPER=1 switches to the paper's n. The shapes
+// (who wins, where curves bend) are scale-robust; EXPERIMENTS.md records
+// both scales.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parallel_cube.h"
+#include "data/generator.h"
+#include "net/cluster.h"
+
+namespace sncube::bench {
+
+struct RunResult {
+  double sim_seconds = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_merge = 0;
+  std::uint64_t cube_rows = 0;
+  std::uint64_t cube_bytes = 0;
+  MergeStats merge;
+};
+
+// Full/partial parallel cube on p simulated processors.
+RunResult RunParallel(const DatasetSpec& spec, int p,
+                      const std::vector<ViewId>& selected,
+                      const ParallelCubeOptions& opts = {},
+                      CostParams cost = FastEthernetBeowulf());
+
+// Sequential baseline: classic whole-lattice Pipesort (full cube) or
+// per-partition partial cube, on one simulated node.
+double RunSequentialSeconds(const DatasetSpec& spec,
+                            const std::vector<ViewId>& selected,
+                            CostParams cost = FastEthernetBeowulf());
+
+// Standard processor sweep for the speedup figures.
+std::vector<int> ProcessorSweep();
+
+// What the simulated time WOULD be if the merge communication of partition
+// i were overlapped with the local computation of partition i+1 — the
+// improvement Section 4.1 of the paper sketches ("would mask between 40%
+// and 60% of the communication overhead"). Recomputed per rank from the
+// per-partition phase stats of a finished run; returns the overlapped
+// parallel time. `d` is the number of dimensions (partitions).
+double OverlappedSimTime(const Cluster& cluster, int d);
+
+// Prints the two-panel figure layout the paper uses: absolute times and the
+// relative speedup per column.
+void PrintTimePanel(const std::string& title,
+                    const std::vector<std::string>& series_names,
+                    const std::vector<int>& ps,
+                    const std::vector<std::vector<double>>& times);
+void PrintSpeedupPanel(const std::vector<std::string>& series_names,
+                       const std::vector<int>& ps,
+                       const std::vector<double>& t1,
+                       const std::vector<std::vector<double>>& times);
+
+}  // namespace sncube::bench

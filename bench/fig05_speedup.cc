@@ -1,0 +1,47 @@
+// Figure 5: full-cube parallel wall-clock time and relative speedup as a
+// function of the number of processors, for two input sizes.
+//
+// Paper setup: n = 1,000,000 and 2,000,000 rows; d = 8; |Di| = 256, 128,
+// 64, 32, 16, 8, 6, 6; alpha = 0; k = 100%. Paper result: near-linear
+// speedup for the larger input; the smaller input flattens earlier because
+// there is too little local computation to amortize communication.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n_small = BenchRows(50000, 1000000);
+  const std::int64_t n_large = BenchRows(100000, 2000000);
+  const auto ps = ProcessorSweep();
+  const auto selected = AllViews(8);
+
+  std::vector<std::vector<double>> times(2);
+  std::vector<double> t1(2);
+  const std::int64_t sizes[2] = {n_small, n_large};
+  for (int s = 0; s < 2; ++s) {
+    DatasetSpec spec = DatasetSpec::PaperDefault(sizes[s]);
+    spec.seed = 51;
+    t1[s] = RunSequentialSeconds(spec, selected);
+    for (int p : ps) {
+      times[s].push_back(RunParallel(spec, p, selected).sim_seconds);
+    }
+  }
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "# Figure 5: full cube, d=8, cards 256..6, alpha=0, k=100%% "
+                "(simulated seconds; T_seq: n1=%.1f, n2=%.1f)",
+                t1[0], t1[1]);
+  PrintTimePanel(title,
+                 {"n=" + std::to_string(sizes[0]),
+                  "n=" + std::to_string(sizes[1])},
+                 ps, times);
+  PrintSpeedupPanel({"n=" + std::to_string(sizes[0]),
+                     "n=" + std::to_string(sizes[1])},
+                    ps, t1, times);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 6: partial-cube parallel wall-clock time and speedup vs processors
+// for 25% / 50% / 75% / 100% of views selected.
+//
+// Paper setup: n = 2,000,000; d = 8; cards 256..6; alpha = 0. Paper result:
+// ≥50% selections track the full-cube speedup; 25% still reaches more than
+// half of optimal; very small selections degrade (little local work beyond
+// the root views).
+#include "bench_util.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "lattice/estimate.h"
+#include "lattice/lattice.h"
+#include "query/greedy_select.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+namespace {
+
+// The paper does not say how the k% of views were chosen; both plausible
+// readings are measured — a uniformly random subset (always containing the
+// full view so every partition root stays cheap to seed) and the HRU-greedy
+// subset a practitioner would pick.
+std::vector<ViewId> RandomSelection(int d, double fraction, Rng& rng) {
+  auto views = AllViews(d);
+  std::erase(views, ViewId::Full(d));
+  // Fisher–Yates prefix shuffle.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    std::swap(views[i],
+              views[i + static_cast<std::size_t>(rng.Below(views.size() - i))]);
+  }
+  auto count = static_cast<std::size_t>(fraction * (1u << d));
+  count = std::max<std::size_t>(1, count);
+  std::vector<ViewId> selected{ViewId::Full(d)};
+  for (std::size_t i = 0; i + 1 < count && i < views.size(); ++i) {
+    selected.push_back(views[i]);
+  }
+  return selected;
+}
+
+void RunSeries(const char* how, const DatasetSpec& spec,
+               const std::vector<int>& ps,
+               const std::vector<std::vector<ViewId>>& selections,
+               const std::vector<std::string>& names) {
+  std::vector<std::vector<double>> times;
+  std::vector<double> t1;
+  for (const auto& selected : selections) {
+    t1.push_back(RunSequentialSeconds(spec, selected));
+    std::vector<double> series;
+    for (int p : ps) {
+      series.push_back(RunParallel(spec, p, selected).sim_seconds);
+    }
+    times.push_back(std::move(series));
+  }
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "# Figure 6 (%s selections): partial cubes, n=%lld, d=8, "
+                "cards 256..6, alpha=0",
+                how, static_cast<long long>(spec.rows));
+  PrintTimePanel(title, names, ps, times);
+  PrintSpeedupPanel(names, ps, t1, times);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = BenchRows(100000, 2000000);
+  const auto ps = ProcessorSweep();
+  DatasetSpec spec = DatasetSpec::PaperDefault(n);
+  spec.seed = 61;
+  const Schema schema = spec.MakeSchema();
+  const AnalyticEstimator est(schema, static_cast<double>(n));
+
+  const double fractions[] = {0.25, 0.50, 0.75, 1.00};
+  std::vector<std::string> names;
+  for (double f : fractions) {
+    names.push_back(std::to_string(static_cast<int>(f * 100)) + "% sel");
+  }
+
+  std::vector<std::vector<ViewId>> random_sel;
+  Rng rng(66);
+  for (double f : fractions) random_sel.push_back(RandomSelection(8, f, rng));
+  RunSeries("random", spec, ps, random_sel, names);
+  std::printf("\n");
+
+  std::vector<std::vector<ViewId>> greedy_sel;
+  for (double f : fractions) {
+    greedy_sel.push_back(GreedySelectFraction(8, f, est));
+  }
+  RunSeries("HRU-greedy", spec, ps, greedy_sel, names);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9: effect of dimension cardinalities (and a skewed leading
+// dimension) on time and speedup.
+//
+// Paper setup: n = 1,000,000; d = 8; mixes
+//   (A) all |Di| = 256            — sparse
+//   (B) |Di| = 256,128,...,6,6    — the default mix
+//   (C) all |Di| = 16             — dense
+//   (D) mix B with alpha0 = 3     — the adversarial case: high-cardinality,
+//       highly-skewed leading dimension, so the D0-root sort does little to
+//       spread the A-partition work.
+// Paper result: sparser data (A) costs somewhat more than B which costs
+// more than C, with little effect on speedup; case D loses speedup but
+// stays within about half of optimal.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n = BenchRows(50000, 1000000);
+  const auto ps = ProcessorSweep();
+  const auto selected = AllViews(8);
+
+  struct Mix {
+    const char* name;
+    std::vector<std::uint32_t> cards;
+    std::vector<double> alphas;
+  };
+  const std::vector<Mix> mixes{
+      {"(A) all 256", std::vector<std::uint32_t>(8, 256), {}},
+      {"(B) 256..6", {256, 128, 64, 32, 16, 8, 6, 6}, {}},
+      {"(C) all 16", std::vector<std::uint32_t>(8, 16), {}},
+      {"(D) B,a0=3", {256, 128, 64, 32, 16, 8, 6, 6},
+       {3.0, 0, 0, 0, 0, 0, 0, 0}},
+  };
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> times;
+  std::vector<double> t1;
+  for (const auto& mix : mixes) {
+    DatasetSpec spec;
+    spec.rows = n;
+    spec.cardinalities = mix.cards;
+    spec.alphas = mix.alphas;
+    spec.seed = 91;
+    names.emplace_back(mix.name);
+    t1.push_back(RunSequentialSeconds(spec, selected));
+    std::vector<double> series;
+    for (int p : ps) {
+      series.push_back(RunParallel(spec, p, selected).sim_seconds);
+    }
+    times.push_back(std::move(series));
+  }
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "# Figure 9: cardinality mixes, n=%lld, d=8",
+                static_cast<long long>(n));
+  PrintTimePanel(title, names, ps, times);
+  PrintSpeedupPanel(names, ps, t1, times);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10: parallel wall-clock time as a function of dimensionality.
+//
+// Paper setup: n = 1,000,000; |Di| = 256 in every dimension; k = 100%;
+// p = 16; d = 6..10. The view count grows as 2^d, so the output size grows
+// exponentially — the paper observes running time essentially LINEAR in the
+// OUTPUT size, which is the column to check below.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n = BenchRows(50000, 1000000);
+  const int p = static_cast<int>(EnvInt("SNCUBE_MAXPROC", 16));
+
+  std::printf("# Figure 10: dimensionality sweep, n=%lld, all cards 256, "
+              "p=%d\n",
+              static_cast<long long>(n), p);
+  std::printf("%-4s %8s %16s %14s %16s %20s\n", "d", "views", "sim_seconds",
+              "cube_Mrows", "cube_MB", "us_per_output_row");
+  for (int d = 6; d <= 10; ++d) {
+    DatasetSpec spec;
+    spec.rows = n;
+    spec.cardinalities.assign(d, 256);
+    spec.seed = 101;
+    const auto result = RunParallel(spec, p, AllViews(d));
+    std::printf("%-4d %8u %16.2f %14.2f %16.1f %20.3f\n", d, 1u << d,
+                result.sim_seconds, result.cube_rows / 1e6,
+                result.cube_bytes / 1048576.0,
+                result.sim_seconds * 1e6 /
+                    static_cast<double>(result.cube_rows));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11: the balance-threshold trade-off.
+//
+// Paper setup: n = 1,000,000; d = 8; cards 256..6; alpha = 0; merge balance
+// threshold gamma = 3%, 5%, 7%. Smaller gamma means better-balanced output
+// views (good for later parallel queries) at the cost of more Case-3
+// re-sorts and data movement during construction. Paper result: the effect
+// on construction time is real but small; 3% is a good default.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const std::int64_t n = BenchRows(50000, 1000000);
+  const auto ps = ProcessorSweep();
+  DatasetSpec spec = DatasetSpec::PaperDefault(n);
+  spec.seed = 111;
+  const auto selected = AllViews(8);
+  const double t1 = RunSequentialSeconds(spec, selected);
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> times;
+  std::vector<std::vector<std::uint64_t>> merge_mb;
+  for (double gamma : {0.03, 0.05, 0.07}) {
+    names.push_back(std::to_string(static_cast<int>(gamma * 100)) + "% thr");
+    ParallelCubeOptions opts;
+    opts.gamma_merge = gamma;
+    std::vector<double> series;
+    std::vector<std::uint64_t> mb;
+    for (int p : ps) {
+      const auto result = RunParallel(spec, p, selected, opts);
+      series.push_back(result.sim_seconds);
+      mb.push_back(result.bytes_merge);
+    }
+    times.push_back(std::move(series));
+    merge_mb.push_back(std::move(mb));
+  }
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "# Figure 11: balance thresholds, n=%lld, d=8, cards 256..6, "
+                "alpha=0",
+                static_cast<long long>(n));
+  PrintTimePanel(title, names, ps, times);
+  PrintSpeedupPanel(names, ps, {t1, t1, t1}, times);
+
+  std::printf("\nmerge communication (MB):\n%-6s", "p");
+  for (const auto& name : names) std::printf("  %10s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::printf("%-6d", ps[i]);
+    for (const auto& mb : merge_mb) {
+      std::printf("  %10.2f", mb[i] / 1048576.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

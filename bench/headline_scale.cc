@@ -1,0 +1,49 @@
+// Headline numbers (Section 4.1): the paper builds, on 16 processors,
+//  * a ≈227M-row (5.6 GB) cube from 2M input rows in under 6 minutes, and
+//  * a ≈846M-row (21.7 GB) cube from 10M input rows in under 47 minutes.
+//
+// This bench reproduces the cube-size accounting and the simulated build
+// time at the current scale factor, and prints the paper's numbers beside
+// the measured ones. Run with SNCUBE_PAPER=1 for the full-size inputs.
+#include "bench_util.h"
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+int main() {
+  const int p = static_cast<int>(EnvInt("SNCUBE_MAXPROC", 16));
+  struct Row {
+    std::int64_t n;
+    double paper_minutes;
+    double paper_cube_mrows;
+    double paper_cube_gb;
+  };
+  const Row rows[] = {
+      {BenchRows(100000, 2000000), 6.0, 227.0, 5.6},
+      {BenchRows(500000, 10000000), 47.0, 846.0, 21.7},
+  };
+
+  std::printf("# Headline scale check, d=8, cards 256..6, alpha=0, p=%d\n", p);
+  std::printf("%-10s %12s %12s %14s %14s %16s %16s\n", "n", "cube_Mrows",
+              "cube_GB", "sim_minutes", "paper_minutes", "paper_Mrows",
+              "rows_ratio");
+  for (const auto& row : rows) {
+    DatasetSpec spec = DatasetSpec::PaperDefault(row.n);
+    spec.seed = 121;
+    const auto result = RunParallel(spec, p, AllViews(8));
+    std::printf("%-10lld %12.2f %12.3f %14.2f %14.1f %16.1f %16.1f\n",
+                static_cast<long long>(row.n), result.cube_rows / 1e6,
+                result.cube_bytes / 1073741824.0, result.sim_seconds / 60.0,
+                row.paper_minutes, row.paper_cube_mrows,
+                static_cast<double>(result.cube_rows) /
+                    static_cast<double>(row.n));
+  }
+  std::printf("\n(the paper's 2M-row input yields a cube ~113x the input"
+              " rows; at scaled-down n the ratio is HIGHER — the big sparse"
+              " views stay ~n rows while the input shrinks — and falls"
+              " toward 113x as n grows: 166x at 100k, 138x at 500k)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Micro-benchmarks (google-benchmark) for the cluster runtime: h-relation
+// throughput, collectives, and Adaptive–Sample–Sort. These measure HOST
+// wall time of the runtime itself (threads + exchange board), not simulated
+// time — they characterize the substrate the figure benches run on.
+#include <benchmark/benchmark.h>
+
+#include "core/sample_sort.h"
+#include "data/generator.h"
+#include "net/cluster.h"
+#include "relation/sort.h"
+
+namespace sncube {
+namespace {
+
+void BM_HRelation(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  Cluster cluster(p);
+  for (auto _ : state) {
+    cluster.Run([&](Comm& comm) {
+      std::vector<ByteBuffer> send(comm.size());
+      for (auto& b : send) b.resize(bytes);
+      benchmark::DoNotOptimize(comm.AllToAllv(std::move(send)));
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(p) *
+                          p * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_HRelation)->Args({4, 4096})->Args({8, 4096})->Args({8, 65536});
+
+void BM_Broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Cluster cluster(p);
+  for (auto _ : state) {
+    cluster.Run([&](Comm& comm) {
+      ByteBuffer msg;
+      if (comm.rank() == 0) msg.resize(16384);
+      benchmark::DoNotOptimize(comm.Broadcast(0, std::move(msg)));
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(4)->Arg(16);
+
+void BM_AdaptiveSampleSort(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  DatasetSpec spec;
+  spec.rows = n;
+  spec.cardinalities = {1024, 64};
+  spec.seed = 7;
+  std::vector<Relation> slices;
+  for (int r = 0; r < p; ++r) slices.push_back(GenerateSlice(spec, p, r));
+  const auto cols = IdentityOrder(2);
+  Cluster cluster(p);
+  for (auto _ : state) {
+    cluster.Run([&](Comm& comm) {
+      benchmark::DoNotOptimize(AdaptiveSampleSort(
+          comm, Relation(slices[comm.rank()]), cols, 0.01));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdaptiveSampleSort)->Args({4, 100000})->Args({8, 100000});
+
+}  // namespace
+}  // namespace sncube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#include "common/rng.h"
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion guarantees a non-zero state for any seed.
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  SNCUBE_DCHECK(bound > 0);
+  // Lemire's debiased multiply-shift rejection method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace sncube

@@ -1,0 +1,55 @@
+// Error handling for sncube.
+//
+// The library uses exceptions for unrecoverable precondition violations and
+// I/O failures; hot paths use SNCUBE_DCHECK which compiles away in release
+// builds. All throwing sites funnel through SncubeError so callers can catch
+// a single type at the API boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sncube {
+
+// Base exception for all sncube failures.
+class SncubeError : public std::runtime_error {
+ public:
+  explicit SncubeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SNCUBE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SncubeError(os.str());
+}
+
+}  // namespace internal
+
+// Always-on invariant check; throws SncubeError on failure.
+#define SNCUBE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sncube::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define SNCUBE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sncube::internal::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Debug-only check; disappears in NDEBUG builds so it is safe on hot paths.
+#ifdef NDEBUG
+#define SNCUBE_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SNCUBE_DCHECK(expr) SNCUBE_CHECK(expr)
+#endif
+
+}  // namespace sncube

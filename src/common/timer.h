@@ -1,0 +1,25 @@
+// Wall-clock timing for benches (real elapsed time, as in the paper's
+// "parallel wall clock time" — though on this substrate the figures are
+// driven by the simulated BSP clock in src/net/cost_model.h).
+#pragma once
+
+#include <chrono>
+
+namespace sncube {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sncube

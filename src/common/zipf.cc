@@ -1,0 +1,41 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sncube {
+
+ZipfSampler::ZipfSampler(std::uint32_t universe, double alpha)
+    : universe_(universe), alpha_(alpha) {
+  SNCUBE_CHECK(universe >= 1);
+  SNCUBE_CHECK(alpha >= 0.0);
+  if (alpha == 0.0) return;  // uniform fast path, no table needed
+  cdf_.resize(universe);
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < universe; ++k) {
+    total += std::pow(static_cast<double>(k) + 1.0, -alpha);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding in the binary search
+}
+
+std::uint32_t ZipfSampler::Sample(Rng& rng) const {
+  if (alpha_ == 0.0) {
+    return static_cast<std::uint32_t>(rng.Below(universe_));
+  }
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::uint32_t k) const {
+  SNCUBE_CHECK(k < universe_);
+  if (alpha_ == 0.0) return 1.0 / universe_;
+  const double lo = (k == 0) ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - lo;
+}
+
+}  // namespace sncube

@@ -1,0 +1,38 @@
+// Zipf-distributed sampling, the skew model used throughout the paper's
+// evaluation (Section 4, citing Zipf [26]).
+//
+// A ZipfSampler over universe size N with exponent alpha draws value
+// k ∈ [0, N) with probability proportional to 1/(k+1)^alpha. alpha = 0 is
+// the uniform distribution; the paper sweeps alpha from 0 (no skew) to 3
+// (high skew). Sampling is by binary search over the precomputed CDF —
+// O(log N) per draw, exact, and deterministic under a seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sncube {
+
+class ZipfSampler {
+ public:
+  // universe must be >= 1; alpha >= 0.
+  ZipfSampler(std::uint32_t universe, double alpha);
+
+  // Draws one value in [0, universe).
+  std::uint32_t Sample(Rng& rng) const;
+
+  std::uint32_t universe() const { return universe_; }
+  double alpha() const { return alpha_; }
+
+  // Probability of drawing k (for tests).
+  double Probability(std::uint32_t k) const;
+
+ private:
+  std::uint32_t universe_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k); empty when alpha == 0
+};
+
+}  // namespace sncube

@@ -1,0 +1,55 @@
+// Key-tuple helpers shared by the parallel sorter and Merge–Partitions:
+// a KeyTuple is one row's values at a set of column positions, the unit
+// pivots and range boundaries are expressed in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace sncube {
+
+using KeyTuple = std::vector<Key>;
+
+inline KeyTuple TupleAt(const Relation& rel, std::size_t row,
+                        const std::vector<int>& cols) {
+  KeyTuple t;
+  t.reserve(cols.size());
+  for (int c : cols) t.push_back(rel.key(row, c));
+  return t;
+}
+
+inline int CompareTuple(const KeyTuple& a, const KeyTuple& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// First row of `sorted` (sorted by cols) whose cols-tuple is > key.
+inline std::size_t UpperBoundRow(const Relation& sorted,
+                                 const std::vector<int>& cols,
+                                 const KeyTuple& key) {
+  std::size_t lo = 0;
+  std::size_t hi = sorted.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    bool greater = false;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const Key k = sorted.key(mid, cols[i]);
+      if (k != key[i]) {
+        greater = k > key[i];
+        break;
+      }
+    }
+    if (greater) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sncube

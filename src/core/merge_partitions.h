@@ -1,0 +1,70 @@
+// Merge–Partitions (Procedure 3): agglomerate, for every view of one
+// Di-partition, the p per-processor fragments into one globally sorted,
+// evenly distributed view.
+//
+// Per view the procedure classifies (Figure 4):
+//
+//  * Case 1 — prefix views (sort order = prefix of the partition's global
+//    sort order). Fragments already form a global sort; only duplicate
+//    groups straddling rank boundaries need fixing. We generalize the
+//    paper's "send the first item to the left neighbour" to groups spanning
+//    any number of ranks: an all-gather of first/last keys identifies each
+//    boundary group's owning (leftmost) rank and one h-relation routes the
+//    single boundary row of every other rank to it.
+//  * Case 2 — non-prefix views whose projected distribution is still
+//    balanced (estimated imbalance ≤ γ from the sampling arrays): each rank
+//    keeps the key range ending at its own last element; overlaps are routed
+//    to their owners with one h-relation and merged locally.
+//  * Case 3 — non-prefix views too imbalanced for overlap routing: a full
+//    re-sort via Adaptive–Sample–Sort (γ = 3%), followed by local
+//    agglomeration and a Case-1 boundary fixup.
+//
+// The Case 2/3 decision uses |v'j| sizes ESTIMATED from the Section 2.4
+// sampling arrays (1/p % accuracy), never a rescan of the views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/comm.h"
+#include "relation/types.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+struct MergeOptions {
+  AggFn fn = AggFn::kSum;
+  // Balance threshold γ distinguishing Case 2 from Case 3 (paper: 3%).
+  double gamma = 0.03;
+  // Sampling-array capacity factor: a = factor · p (paper: 100).
+  int sample_capacity_factor = 100;
+  // Ablation switch: treat every non-prefix view as Case 3.
+  bool force_case3 = false;
+};
+
+struct MergeStats {
+  int case1_views = 0;
+  int case2_views = 0;
+  int case3_views = 0;
+  // Views whose fragments arrived in differing sort orders (local schedule
+  // trees) and had to be re-sorted before merging.
+  int resorted_views = 0;
+
+  MergeStats& operator+=(const MergeStats& o) {
+    case1_views += o.case1_views;
+    case2_views += o.case2_views;
+    case3_views += o.case3_views;
+    resorted_views += o.resorted_views;
+    return *this;
+  }
+};
+
+// Merges every SELECTED view of `cube` in place (this rank's fragment →
+// this rank's shard of the merged view); auxiliary views are erased.
+// `root_order` is the partition's global sort order from Step 1b. All ranks
+// must call with the same view set. Collective.
+void MergePartitions(Comm& comm, CubeResult& cube,
+                     const std::vector<int>& root_order,
+                     const MergeOptions& opts, MergeStats* stats = nullptr);
+
+}  // namespace sncube

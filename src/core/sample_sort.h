@@ -1,0 +1,36 @@
+// Adaptive–Sample–Sort (Procedure 2): parallel sorting by regular sampling
+// (Li et al., the paper's reference [14]) with the paper's adaptive twist —
+// after the main h-relation the imbalance I(y0..yp-1) is measured and a
+// second "global shift" h-relation runs only when it exceeds γ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/comm.h"
+#include "relation/relation.h"
+
+namespace sncube {
+
+struct SampleSortStats {
+  double imbalance_before_shift = 0;
+  bool shifted = false;
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+};
+
+// Relative imbalance of Section 2.2:
+// max((ymax-yavg)/yavg, (yavg-ymin)/yavg); 0 when all sizes are 0.
+double RelativeImbalance(const std::vector<std::uint64_t>& sizes);
+
+// Globally sorts the union of every rank's `local` by `sort_cols`
+// (column positions, compared lexicographically). On return each rank holds
+// a contiguous shard of the global order: all keys on rank j <= all keys on
+// rank j+1, each shard locally sorted, and — when the shift triggered —
+// shard sizes balanced to within one row of even. Charges CPU, disk and
+// network costs through `comm`.
+Relation AdaptiveSampleSort(Comm& comm, Relation local,
+                            const std::vector<int>& sort_cols, double gamma,
+                            SampleSortStats* stats = nullptr);
+
+}  // namespace sncube

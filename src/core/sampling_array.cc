@@ -1,0 +1,70 @@
+#include "core/sampling_array.h"
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+int CompareKeys(std::span<const Key> a, std::span<const Key> b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SamplingArray::SamplingArray(int width, std::size_t capacity)
+    : width_(width), capacity_(capacity) {
+  SNCUBE_CHECK(width >= 0);
+  SNCUBE_CHECK(capacity >= 2);
+  samples_.reserve(capacity * static_cast<std::size_t>(width));
+}
+
+void SamplingArray::Add(std::span<const Key> keys) {
+  SNCUBE_DCHECK(static_cast<int>(keys.size()) == width_);
+  if (count_ % stride_ == 0) {
+    if (sample_count() == capacity_) {
+      // Array full: keep every other sample and double the stride. The
+      // retained samples sit at positions 0, 2·stride, 4·stride, ... — still
+      // equally spaced.
+      const std::size_t w = static_cast<std::size_t>(width_);
+      for (std::size_t i = 0; 2 * i < capacity_; ++i) {
+        for (std::size_t c = 0; c < w; ++c) {
+          samples_[i * w + c] = samples_[2 * i * w + c];
+        }
+      }
+      samples_.resize(((capacity_ + 1) / 2) * w);
+      stride_ *= 2;
+    }
+    if (count_ % stride_ == 0) {
+      samples_.insert(samples_.end(), keys.begin(), keys.end());
+    }
+  }
+  ++count_;
+}
+
+std::span<const Key> SamplingArray::SampleAt(std::size_t i) const {
+  return {samples_.data() + i * static_cast<std::size_t>(width_),
+          static_cast<std::size_t>(width_)};
+}
+
+std::size_t SamplingArray::EstimateRowsLessEq(std::span<const Key> key) const {
+  // Binary search for the first sample > key.
+  std::size_t lo = 0;
+  std::size_t hi = sample_count();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (CompareKeys(SampleAt(mid), key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // lo samples are <= key; they represent positions 0, stride, ... so about
+  // lo * stride underlying rows are <= key (clamped to what we saw).
+  const std::size_t estimate = lo * stride_;
+  return estimate < count_ ? estimate : count_;
+}
+
+}  // namespace sncube

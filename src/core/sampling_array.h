@@ -1,0 +1,53 @@
+// The sampling array of Section 2.4.
+//
+// While a processor writes a view vj to its local disk, the view's final
+// size is unknown, so a fixed sample size cannot be pre-planned. The paper's
+// trick: keep an array of `capacity` rows; fill it with the first rows at
+// stride 1, and whenever it fills, drop every other sample and double the
+// stride. The surviving samples are always equally spaced over everything
+// written so far, so "rows ≤ key" is estimable to within one stride — with
+// capacity = 100·p that is the 1/p% accuracy Merge–Partitions needs to pick
+// Case 2 vs Case 3 without rescanning the view on disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relation/types.h"
+
+namespace sncube {
+
+class SamplingArray {
+ public:
+  // `width` = number of key columns per sampled row.
+  SamplingArray(int width, std::size_t capacity);
+
+  // Feed the next row (in the order it is written to disk — i.e. the view's
+  // sort order).
+  void Add(std::span<const Key> keys);
+
+  std::size_t rows_seen() const { return count_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t sample_count() const { return samples_.size() / width_; }
+
+  // Estimated number of rows whose key tuple compares <= `key` under the
+  // lexicographic order of the fed rows. Exact to within one stride, i.e.
+  // within 2·rows_seen()/capacity.
+  std::size_t EstimateRowsLessEq(std::span<const Key> key) const;
+
+  // Largest estimation error this array can make.
+  std::size_t ErrorBound() const { return stride_; }
+
+ private:
+  std::span<const Key> SampleAt(std::size_t i) const;
+
+  int width_;
+  std::size_t capacity_;
+  std::size_t stride_ = 1;
+  std::size_t count_ = 0;
+  std::vector<Key> samples_;  // flat, width_ keys per sample
+};
+
+}  // namespace sncube

@@ -1,0 +1,43 @@
+// Synthetic workload generator matching the paper's evaluation setup
+// (Section 4): n records, d dimensions, per-dimension cardinality |Di| and
+// per-dimension Zipf skew αi (α = 0 uniform … α = 3 high skew).
+//
+// Generation is seeded and deterministic; per-rank slices can be generated
+// independently (each rank draws its own Rng split), which is how the
+// shared-nothing benches create the "distributed arbitrarily over the p
+// processors" input without any rank touching another's data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace sncube {
+
+struct DatasetSpec {
+  std::int64_t rows = 0;
+  std::vector<std::uint32_t> cardinalities;  // per dimension, any order
+  std::vector<double> alphas;                // Zipf skew; empty = all zero
+  std::uint64_t seed = 42;
+
+  // The paper's default mix: d = 8, |Di| = 256,128,64,32,16,8,6,6, α = 0.
+  static DatasetSpec PaperDefault(std::int64_t rows);
+
+  // Schema with dimensions sorted into decreasing-cardinality order.
+  Schema MakeSchema() const;
+};
+
+// Generates the full data set (measure = 1 so SUM doubles as COUNT; any
+// distributive measure would do).
+Relation GenerateDataset(const DatasetSpec& spec);
+
+// Generates rank `rank`'s slice of a p-way row partition (rows split as
+// evenly as possible; slices are disjoint and their union equals the full
+// data set generated with the same spec).
+Relation GenerateSlice(const DatasetSpec& spec, int p, int rank);
+
+}  // namespace sncube

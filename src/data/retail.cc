@@ -1,0 +1,52 @@
+#include "data/retail.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace sncube {
+
+RetailDataset GenerateRetail(std::int64_t rows, std::uint64_t seed) {
+  SNCUBE_CHECK(rows >= 0);
+  // Cardinalities chosen to mirror a mid-size retailer; Schema sorts them
+  // into decreasing order, names travel with their dimension.
+  const std::vector<std::uint32_t> cards = {500, 200, 24, 10, 8, 4};
+  const std::vector<std::string> raw_names = {"product", "store",   "month",
+                                              "segment", "promo",   "payment"};
+  // Skew: product sales are heavily zipfian, stores moderately, the rest
+  // uniform.
+  const std::vector<double> alphas = {1.2, 0.6, 0.0, 0.0, 0.0, 0.0};
+
+  RetailDataset ds;
+  ds.schema = Schema(cards, raw_names);
+  ds.names.reserve(cards.size());
+  for (int i = 0; i < ds.schema.dims(); ++i) ds.names.push_back(ds.schema.name(i));
+
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(cards.size());
+  for (int i = 0; i < ds.schema.dims(); ++i) {
+    // Recover the alpha that travelled with this cardinality: cards are
+    // unique in this data set except none repeat, so match by name.
+    double alpha = 0.0;
+    for (std::size_t j = 0; j < raw_names.size(); ++j) {
+      if (raw_names[j] == ds.schema.name(i)) alpha = alphas[j];
+    }
+    samplers.emplace_back(ds.schema.cardinality(i), alpha);
+  }
+
+  ds.facts = Relation(ds.schema.dims());
+  ds.facts.Reserve(static_cast<std::size_t>(rows));
+  Rng rng(seed);
+  std::vector<Key> keys(static_cast<std::size_t>(ds.schema.dims()));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < ds.schema.dims(); ++c) {
+      keys[static_cast<std::size_t>(c)] = samplers[static_cast<std::size_t>(c)].Sample(rng);
+    }
+    // Units sold: 1..5, skewed toward single-unit baskets.
+    const Measure units = 1 + static_cast<Measure>(rng.Below(5) == 0 ? rng.Below(4) + 1 : 0);
+    ds.facts.Append(keys, units);
+  }
+  return ds;
+}
+
+}  // namespace sncube

@@ -1,0 +1,26 @@
+// A small retail star-schema workload for the examples: sales facts over
+// (store, product, month, customer-segment, promotion, payment) dimensions
+// with realistic cardinalities and skew (a few products dominate sales).
+// This is the kind of decision-support data set the paper's introduction
+// motivates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace sncube {
+
+struct RetailDataset {
+  Schema schema;
+  Relation facts;                   // measure = units sold
+  std::vector<std::string> names;   // dimension names in schema order
+};
+
+// Generates `rows` sales facts, deterministic under `seed`.
+RetailDataset GenerateRetail(std::int64_t rows, std::uint64_t seed = 7);
+
+}  // namespace sncube

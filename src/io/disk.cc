@@ -1,0 +1,37 @@
+#include "io/disk.h"
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+std::uint64_t Blocks(std::size_t bytes, std::size_t block_bytes) {
+  return (bytes + block_bytes - 1) / block_bytes;
+}
+
+}  // namespace
+
+void DiskModel::ChargeRead(std::size_t bytes) {
+  blocks_read_ += Blocks(bytes, params_.block_bytes);
+}
+
+void DiskModel::ChargeWrite(std::size_t bytes) {
+  blocks_written_ += Blocks(bytes, params_.block_bytes);
+}
+
+int DiskModel::MergePasses(std::size_t bytes) const {
+  if (bytes <= params_.memory_bytes) return 0;
+  const std::uint64_t runs =
+      (bytes + params_.memory_bytes - 1) / params_.memory_bytes;
+  const std::uint64_t fan_in = params_.memory_bytes / params_.block_bytes;
+  SNCUBE_CHECK_MSG(fan_in >= 2, "memory must hold at least two blocks");
+  int passes = 0;
+  std::uint64_t remaining = runs;
+  while (remaining > 1) {
+    remaining = (remaining + fan_in - 1) / fan_in;
+    ++passes;
+  }
+  return passes;
+}
+
+}  // namespace sncube

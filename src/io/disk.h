@@ -1,0 +1,53 @@
+// Per-processor local-disk model.
+//
+// The paper's machine model (Section 2) charges a linear scan of a size-n
+// file O(n/B) block transfers and an external sort O((n/B)·log_{m/B}(n/B)),
+// after Vitter [22]. DiskModel is the accounting side of that model: every
+// byte staged to or from a processor's local disk is charged in whole blocks
+// of `block_bytes`, against a working memory of `memory_bytes`. The cost
+// model in src/net converts block counts into simulated seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sncube {
+
+struct DiskParams {
+  // Block transfer size B. 8 KiB keeps the per-view block-rounding floor
+  // proportionally small at bench scale; together with disk_block_s (see
+  // net/params.h) it models the same ~40 MB/s IDE-era bandwidth a larger
+  // block would.
+  std::size_t block_bytes = 8 * 1024;
+  // Working memory m available for sorting/merging per processor.
+  std::size_t memory_bytes = 64 * 1024 * 1024;
+};
+
+// Running totals of block transfers on one processor's local disk.
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params = {}) : params_(params) {}
+
+  const DiskParams& params() const { return params_; }
+
+  // Charges a read/write of `bytes` rounded up to whole blocks.
+  void ChargeRead(std::size_t bytes);
+  void ChargeWrite(std::size_t bytes);
+
+  std::uint64_t blocks_read() const { return blocks_read_; }
+  std::uint64_t blocks_written() const { return blocks_written_; }
+  std::uint64_t blocks_total() const { return blocks_read_ + blocks_written_; }
+
+  void Reset() { blocks_read_ = blocks_written_ = 0; }
+
+  // Number of merge passes an external sort of `bytes` needs (0 when the
+  // data fits in memory): ceil(log_f(runs)) with fan-in f = m/B - 1.
+  int MergePasses(std::size_t bytes) const;
+
+ private:
+  DiskParams params_;
+  std::uint64_t blocks_read_ = 0;
+  std::uint64_t blocks_written_ = 0;
+};
+
+}  // namespace sncube

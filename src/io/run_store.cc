@@ -1,0 +1,86 @@
+#include "io/run_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "common/status.h"
+
+namespace sncube {
+
+int MemoryRunStore::CreateRun() {
+  runs_.emplace_back();
+  return static_cast<int>(runs_.size()) - 1;
+}
+
+void MemoryRunStore::Append(int run, std::span<const std::byte> bytes) {
+  auto& r = runs_.at(run);
+  r.insert(r.end(), bytes.begin(), bytes.end());
+}
+
+std::size_t MemoryRunStore::Size(int run) const { return runs_.at(run).size(); }
+
+std::size_t MemoryRunStore::Read(int run, std::size_t offset,
+                                 std::span<std::byte> out) const {
+  const auto& r = runs_.at(run);
+  if (offset >= r.size()) return 0;
+  const std::size_t n = std::min(out.size(), r.size() - offset);
+  std::memcpy(out.data(), r.data() + offset, n);
+  return n;
+}
+
+void MemoryRunStore::Free(int run) {
+  runs_.at(run).clear();
+  runs_.at(run).shrink_to_fit();
+}
+
+FileRunStore::FileRunStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    dir_ = std::filesystem::temp_directory_path().string();
+  }
+}
+
+FileRunStore::~FileRunStore() {
+  for (std::FILE* f : files_) {
+    if (f != nullptr) std::fclose(f);  // tmpfile() unlinks automatically
+  }
+}
+
+int FileRunStore::CreateRun() {
+  std::FILE* f = std::tmpfile();
+  SNCUBE_CHECK_MSG(f != nullptr, "tmpfile() failed for spill run");
+  files_.push_back(f);
+  sizes_.push_back(0);
+  return static_cast<int>(files_.size()) - 1;
+}
+
+void FileRunStore::Append(int run, std::span<const std::byte> bytes) {
+  std::FILE* f = files_.at(run);
+  SNCUBE_CHECK(f != nullptr);
+  SNCUBE_CHECK(std::fseek(f, 0, SEEK_END) == 0);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  SNCUBE_CHECK_MSG(written == bytes.size(), "short write to spill run");
+  sizes_.at(run) += written;
+}
+
+std::size_t FileRunStore::Size(int run) const { return sizes_.at(run); }
+
+std::size_t FileRunStore::Read(int run, std::size_t offset,
+                               std::span<std::byte> out) const {
+  std::FILE* f = files_.at(run);
+  SNCUBE_CHECK(f != nullptr);
+  if (offset >= sizes_.at(run)) return 0;
+  SNCUBE_CHECK(std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0);
+  return std::fread(out.data(), 1, out.size(), f);
+}
+
+void FileRunStore::Free(int run) {
+  std::FILE*& f = files_.at(run);
+  if (f != nullptr) {
+    std::fclose(f);
+    f = nullptr;
+  }
+  sizes_.at(run) = 0;
+}
+
+}  // namespace sncube

@@ -1,0 +1,75 @@
+// Storage backends for external-sort runs.
+//
+// A RunStore holds append-only byte runs. MemoryRunStore keeps them in RAM
+// (fast default; block transfers are still charged by the sorter so the cost
+// model is unaffected). FileRunStore stages runs in real temporary files so
+// the external sort can be exercised against an actual filesystem — data
+// larger than RAM genuinely spills.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relation/serialize.h"
+
+namespace sncube {
+
+class RunStore {
+ public:
+  virtual ~RunStore() = default;
+
+  // Creates an empty run and returns its id.
+  virtual int CreateRun() = 0;
+  // Appends bytes to an existing run.
+  virtual void Append(int run, std::span<const std::byte> bytes) = 0;
+  // Total bytes in the run.
+  virtual std::size_t Size(int run) const = 0;
+  // Copies up to out.size() bytes starting at `offset` into `out`; returns
+  // the number of bytes actually copied (0 at end of run).
+  virtual std::size_t Read(int run, std::size_t offset,
+                           std::span<std::byte> out) const = 0;
+  // Releases the run's storage. The id must not be reused afterwards.
+  virtual void Free(int run) = 0;
+};
+
+// Runs held in main memory.
+class MemoryRunStore final : public RunStore {
+ public:
+  int CreateRun() override;
+  void Append(int run, std::span<const std::byte> bytes) override;
+  std::size_t Size(int run) const override;
+  std::size_t Read(int run, std::size_t offset,
+                   std::span<std::byte> out) const override;
+  void Free(int run) override;
+
+ private:
+  std::vector<ByteBuffer> runs_;
+};
+
+// Runs staged in unlinked temporary files under `dir` (default: the system
+// temp directory). Files are removed on Free / destruction (RAII).
+class FileRunStore final : public RunStore {
+ public:
+  explicit FileRunStore(std::string dir = "");
+  ~FileRunStore() override;
+
+  FileRunStore(const FileRunStore&) = delete;
+  FileRunStore& operator=(const FileRunStore&) = delete;
+
+  int CreateRun() override;
+  void Append(int run, std::span<const std::byte> bytes) override;
+  std::size_t Size(int run) const override;
+  std::size_t Read(int run, std::size_t offset,
+                   std::span<std::byte> out) const override;
+  void Free(int run) override;
+
+ private:
+  std::string dir_;
+  std::vector<std::FILE*> files_;   // nullptr after Free
+  std::vector<std::size_t> sizes_;
+};
+
+}  // namespace sncube

@@ -1,0 +1,79 @@
+#include "lattice/estimate.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sncube {
+
+AnalyticEstimator::AnalyticEstimator(const Schema& schema, double rows)
+    : rows_(rows) {
+  SNCUBE_CHECK(rows >= 0);
+  log_cards_.reserve(static_cast<std::size_t>(schema.dims()));
+  for (int i = 0; i < schema.dims(); ++i) {
+    log_cards_.push_back(std::log(static_cast<double>(schema.cardinality(i))));
+  }
+}
+
+double AnalyticEstimator::EstimateRows(ViewId v) const {
+  if (v.empty()) return rows_ > 0 ? 1.0 : 0.0;
+  double log_d = 0;
+  for (int i : v.DimList()) {
+    SNCUBE_CHECK(i < static_cast<int>(log_cards_.size()));
+    log_d += log_cards_[static_cast<std::size_t>(i)];
+  }
+  // Cardenas: E = D(1 − (1 − 1/D)^n), computed stably for huge D.
+  if (log_d > 700.0) return rows_;  // D astronomically large → every row distinct
+  const double d = std::exp(log_d);
+  const double e = -d * std::expm1(rows_ * std::log1p(-1.0 / d));
+  return std::min(e, rows_);
+}
+
+FmViewEstimator::FmViewEstimator(const Relation& rel,
+                                 const std::vector<int>& rel_dims,
+                                 const std::vector<ViewId>& views,
+                                 int bitmaps) {
+  SNCUBE_CHECK(static_cast<int>(rel_dims.size()) == rel.width());
+  // Map global dimension index → relation column.
+  std::unordered_map<int, int> col_of_dim;
+  for (int c = 0; c < rel.width(); ++c) col_of_dim[rel_dims[c]] = c;
+
+  struct ViewCols {
+    ViewId id;
+    std::vector<int> cols;
+  };
+  std::vector<ViewCols> plans;
+  plans.reserve(views.size());
+  for (ViewId v : views) {
+    ViewCols plan{v, {}};
+    for (int dim : v.DimList()) {
+      const auto it = col_of_dim.find(dim);
+      SNCUBE_CHECK_MSG(it != col_of_dim.end(),
+                       "view uses a dimension absent from the relation");
+      plan.cols.push_back(it->second);
+    }
+    plans.push_back(std::move(plan));
+    sketches_.emplace(v, FmSketch(bitmaps));
+  }
+
+  for (std::size_t row = 0; row < rel.size(); ++row) {
+    const auto keys = rel.RowKeys(row);
+    for (const auto& plan : plans) {
+      const std::uint64_t h =
+          plan.cols.empty()
+              ? 0
+              : HashKeys(keys.data(), plan.cols.data(),
+                         static_cast<int>(plan.cols.size()));
+      sketches_.at(plan.id).Add(h);
+    }
+  }
+}
+
+double FmViewEstimator::EstimateRows(ViewId v) const {
+  const auto it = sketches_.find(v);
+  SNCUBE_CHECK_MSG(it != sketches_.end(), "view was not sketched");
+  if (v.empty()) return 1.0;
+  return it->second.Estimate();
+}
+
+}  // namespace sncube

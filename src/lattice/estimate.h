@@ -1,0 +1,61 @@
+// View-size estimation, the input to schedule-tree construction.
+//
+// Pipesort labels every lattice edge with scan/sort costs derived from
+// estimated view sizes (paper Section 2.1, citing [6, 21]). Two estimators
+// are provided:
+//
+//  * AnalyticEstimator — the Cardenas formula: n uniform tuples over a
+//    product space of size D yield E = D·(1 − (1 − 1/D)^n) expected distinct
+//    groups. Exact for uniform data, cheap (no data access), and the default
+//    the parallel builder uses on rank 0.
+//  * FmViewEstimator — Flajolet–Martin sketches built from an actual
+//    relation, one per requested view. Data-driven, handles skew, costs one
+//    pass over the data per batch of views.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/fm_sketch.h"
+#include "lattice/view_id.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace sncube {
+
+class ViewSizeEstimator {
+ public:
+  virtual ~ViewSizeEstimator() = default;
+  // Estimated row count of view `v`.
+  virtual double EstimateRows(ViewId v) const = 0;
+};
+
+class AnalyticEstimator final : public ViewSizeEstimator {
+ public:
+  // `rows` is the row count of the raw data the views aggregate.
+  AnalyticEstimator(const Schema& schema, double rows);
+
+  double EstimateRows(ViewId v) const override;
+
+ private:
+  std::vector<double> log_cards_;  // per global dimension
+  double rows_;
+};
+
+class FmViewEstimator final : public ViewSizeEstimator {
+ public:
+  // Builds one sketch per view in `views` from `rel`. `rel_dims[c]` is the
+  // global dimension index of relation column c (the relation may be a
+  // Di-root, i.e. a projection of the raw schema). Views must only use
+  // dimensions present in rel_dims.
+  FmViewEstimator(const Relation& rel, const std::vector<int>& rel_dims,
+                  const std::vector<ViewId>& views, int bitmaps = 64);
+
+  double EstimateRows(ViewId v) const override;
+
+ private:
+  std::unordered_map<ViewId, FmSketch> sketches_;
+};
+
+}  // namespace sncube

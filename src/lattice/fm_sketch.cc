@@ -1,0 +1,71 @@
+#include "lattice/fm_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+constexpr double kPhi = 0.77351;  // Flajolet–Martin correction constant
+
+}  // namespace
+
+std::uint64_t HashValue(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashKeys(const std::uint32_t* keys, const int* cols, int k) {
+  std::uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (int i = 0; i < k; ++i) {
+    h = HashValue(h ^ keys[cols[i]]);
+  }
+  return h;
+}
+
+FmSketch::FmSketch(int bitmaps, std::uint64_t seed) : seed_(seed) {
+  SNCUBE_CHECK_MSG(bitmaps >= 1 && (bitmaps & (bitmaps - 1)) == 0,
+                   "bitmap count must be a power of two");
+  maps_.assign(static_cast<std::size_t>(bitmaps), 0);
+  shift_ = std::countr_zero(static_cast<unsigned>(bitmaps));
+}
+
+void FmSketch::Add(std::uint64_t hashed_key) {
+  const std::uint64_t h = HashValue(hashed_key ^ seed_);
+  const auto bucket = static_cast<std::size_t>(h & (maps_.size() - 1));
+  // Trailing-zero rank of the remaining bits; geometric with ratio 1/2.
+  const std::uint64_t rest = h >> shift_;
+  const int r = rest == 0 ? static_cast<int>(64 - shift_)
+                          : std::countr_zero(rest);
+  maps_[bucket] |= (1u << (r < 31 ? r : 31));
+}
+
+double FmSketch::Estimate() const {
+  const auto m = static_cast<double>(maps_.size());
+  // Small-range correction: PCSA is biased high when most bitmaps are still
+  // empty (n ≲ 10·m). There, linear counting on the empty-bitmap fraction —
+  // n ≈ m·ln(m/empty) — is accurate, so use it while a nontrivial share of
+  // bitmaps is empty.
+  double empty = 0;
+  for (std::uint32_t map : maps_) empty += (map == 0);
+  if (empty > 0.05 * m) return m * std::log(m / empty);
+
+  // R_i = index of the lowest zero bit of bitmap i.
+  double sum = 0;
+  for (std::uint32_t map : maps_) {
+    sum += std::countr_one(map);
+  }
+  const double mean = sum / m;
+  return m / kPhi * std::pow(2.0, mean);
+}
+
+void FmSketch::Merge(const FmSketch& other) {
+  SNCUBE_CHECK(other.maps_.size() == maps_.size() && other.seed_ == seed_);
+  for (std::size_t i = 0; i < maps_.size(); ++i) maps_[i] |= other.maps_[i];
+}
+
+}  // namespace sncube

@@ -1,0 +1,42 @@
+// Flajolet–Martin probabilistic counting (PCSA), the paper's reference [6]
+// for view-size estimation.
+//
+// The sketch keeps m bitmaps; each key is hashed to one bitmap (stochastic
+// averaging) and sets the bit at the position of the lowest zero-probability
+// event (number of trailing zeros of a second hash). The distinct-count
+// estimate is (m/φ)·2^(mean leading-bit index) with φ ≈ 0.77351.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sncube {
+
+class FmSketch {
+ public:
+  // `bitmaps` must be a power of two (stochastic-averaging fan-out).
+  explicit FmSketch(int bitmaps = 64, std::uint64_t seed = 0);
+
+  // Adds a key (pre-hashed 64-bit value; callers hash rows first).
+  void Add(std::uint64_t hashed_key);
+
+  // Estimated number of distinct keys added.
+  double Estimate() const;
+
+  void Merge(const FmSketch& other);
+
+  int bitmaps() const { return static_cast<int>(maps_.size()); }
+
+ private:
+  std::vector<std::uint32_t> maps_;
+  std::uint64_t seed_;
+  int shift_;  // log2(bitmaps)
+};
+
+// 64-bit mix hash for row keys (splitmix64 finalizer).
+std::uint64_t HashValue(std::uint64_t x);
+
+// Combines a sequence of key columns into one 64-bit row hash.
+std::uint64_t HashKeys(const std::uint32_t* keys, const int* cols, int k);
+
+}  // namespace sncube

@@ -1,0 +1,64 @@
+#include "lattice/lattice.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sncube {
+
+std::vector<ViewId> AllViews(int d) {
+  SNCUBE_CHECK(d >= 1 && d <= ViewId::kMaxDims);
+  std::vector<ViewId> views;
+  views.reserve(1u << d);
+  for (std::uint32_t mask = 0; mask < (1u << d); ++mask) {
+    views.emplace_back(mask);
+  }
+  return views;
+}
+
+std::vector<std::vector<ViewId>> PartitionViews(const std::vector<ViewId>& views,
+                                                int d) {
+  std::vector<std::vector<ViewId>> partitions(static_cast<std::size_t>(d));
+  for (ViewId v : views) {
+    partitions[static_cast<std::size_t>(v.PartitionIndex(d))].push_back(v);
+  }
+  for (auto& part : partitions) {
+    std::sort(part.begin(), part.end(), [](ViewId a, ViewId b) {
+      if (a.dim_count() != b.dim_count()) return a.dim_count() > b.dim_count();
+      return a.mask() < b.mask();
+    });
+  }
+  return partitions;
+}
+
+ViewId PartitionRoot(const std::vector<ViewId>& partition) {
+  ViewId root = ViewId::Empty();
+  for (ViewId v : partition) root = root.Union(v);
+  return root;
+}
+
+std::vector<ViewId> LatticeChildren(ViewId v) {
+  std::vector<ViewId> children;
+  children.reserve(static_cast<std::size_t>(v.dim_count()));
+  for (int i : v.DimList()) children.push_back(v.Without(i));
+  return children;
+}
+
+std::vector<ViewId> LatticeParents(ViewId v, int d) {
+  std::vector<ViewId> parents;
+  for (int i = 0; i < d; ++i) {
+    if (!v.Contains(i)) parents.push_back(v.With(i));
+  }
+  return parents;
+}
+
+std::vector<ViewId> LatticeLevel(int d, int level) {
+  SNCUBE_CHECK(level >= 0 && level <= d);
+  std::vector<ViewId> views;
+  for (std::uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (__builtin_popcount(mask) == level) views.emplace_back(mask);
+  }
+  return views;
+}
+
+}  // namespace sncube

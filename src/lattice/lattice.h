@@ -1,0 +1,46 @@
+// The view lattice (Figure 1a) and its Di-partition decomposition
+// (Figure 3).
+//
+// The lattice over d dimensions has 2^d views; an edge connects u to v when
+// v = u minus one dimension (v computable from u by aggregating along one
+// dimension). The paper's parallel algorithm never materializes the whole
+// lattice at once — it decomposes S into Di-partitions: Si = the views whose
+// leading (highest-cardinality) dimension is Di, rooted at the Di-root (the
+// union of all dimensions appearing in Si). This file provides both the
+// full-cube decomposition and the selected-subset (partial cube) variant of
+// Section 3.
+#pragma once
+
+#include <vector>
+
+#include "lattice/view_id.h"
+
+namespace sncube {
+
+// All 2^d view identifiers of the full cube.
+std::vector<ViewId> AllViews(int d);
+
+// Views of `views` grouped into Di-partitions: result[i] = Si, the views
+// whose PartitionIndex is i (the empty view lands in partition d-1).
+// Within each partition views are ordered by decreasing dimension count and
+// then mask (deterministic).
+std::vector<std::vector<ViewId>> PartitionViews(const std::vector<ViewId>& views,
+                                                int d);
+
+// The Di-root for a partition: the union of all dimensions contained in the
+// partition's views (Section 2.1). For the full cube this is {Di..Dd-1}.
+// An empty partition yields the empty view.
+ViewId PartitionRoot(const std::vector<ViewId>& partition);
+
+// Direct children of `v` in the lattice restricted to dimension count
+// (each = v minus one dimension).
+std::vector<ViewId> LatticeChildren(ViewId v);
+
+// Direct parents of `v` within a d-dimensional cube (each = v plus one
+// dimension).
+std::vector<ViewId> LatticeParents(ViewId v, int d);
+
+// Views of the full d-cube with exactly `level` dimensions.
+std::vector<ViewId> LatticeLevel(int d, int level);
+
+}  // namespace sncube

@@ -1,0 +1,44 @@
+#include "lattice/view_id.h"
+
+namespace sncube {
+
+ViewId ViewId::FromDims(const std::vector<int>& dims) {
+  std::uint32_t mask = 0;
+  for (int d : dims) {
+    SNCUBE_CHECK(d >= 0 && d < kMaxDims);
+    mask |= (1u << d);
+  }
+  return ViewId(mask);
+}
+
+std::vector<int> ViewId::DimList() const {
+  std::vector<int> dims;
+  dims.reserve(static_cast<std::size_t>(dim_count()));
+  for (int i = 0; i < kMaxDims; ++i) {
+    if (Contains(i)) dims.push_back(i);
+  }
+  return dims;
+}
+
+int ViewId::PartitionIndex(int d) const {
+  SNCUBE_CHECK(d >= 1);
+  if (mask_ == 0) return d - 1;
+  return __builtin_ctz(mask_);
+}
+
+std::string ViewId::Name(const Schema& schema) const {
+  if (mask_ == 0) return "all";
+  std::string name;
+  const bool letters = schema.dims() <= 26;
+  for (int i : DimList()) {
+    if (letters) {
+      name.push_back(static_cast<char>('A' + i));
+    } else {
+      if (!name.empty()) name.push_back('.');
+      name += schema.name(i);
+    }
+  }
+  return name;
+}
+
+}  // namespace sncube

@@ -1,0 +1,84 @@
+// View identifiers.
+//
+// A view of the data cube is identified by the subset of dimensions it
+// groups by. Following Section 2 of the paper, dimensions carry global
+// indices 0..d-1 in DECREASING cardinality order, and a view identifier
+// lists its dimensions in that canonical order (ascending index). ViewId
+// packs the subset into a bitmask; bit i = dimension Di present.
+//
+// The Di-partition structure (Figure 3) falls out of the leading dimension:
+// view v belongs to the Di-partition where i = v's smallest set bit. The
+// empty view ("all") is assigned to the last partition, matching Figure 3
+// where ALL hangs off the D-partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace sncube {
+
+class ViewId {
+ public:
+  static constexpr int kMaxDims = 20;
+
+  constexpr ViewId() : mask_(0) {}
+  constexpr explicit ViewId(std::uint32_t mask) : mask_(mask) {}
+
+  // The full view over d dimensions (the raw data set's grouping).
+  static ViewId Full(int d) {
+    SNCUBE_CHECK(d >= 0 && d <= kMaxDims);
+    return ViewId((d == 0) ? 0u : ((1u << d) - 1u));
+  }
+  // The empty view: one row aggregating everything ("all").
+  static constexpr ViewId Empty() { return ViewId(0); }
+
+  // Builds from an explicit dimension list (indices into the schema).
+  static ViewId FromDims(const std::vector<int>& dims);
+
+  std::uint32_t mask() const { return mask_; }
+  int dim_count() const { return __builtin_popcount(mask_); }
+  bool empty() const { return mask_ == 0; }
+
+  bool Contains(int dim) const { return (mask_ >> dim) & 1u; }
+  bool IsSubsetOf(ViewId other) const {
+    return (mask_ & other.mask_) == mask_;
+  }
+  bool IsProperSubsetOf(ViewId other) const {
+    return IsSubsetOf(other) && mask_ != other.mask_;
+  }
+
+  ViewId Union(ViewId other) const { return ViewId(mask_ | other.mask_); }
+  ViewId Without(int dim) const { return ViewId(mask_ & ~(1u << dim)); }
+  ViewId With(int dim) const { return ViewId(mask_ | (1u << dim)); }
+
+  // Canonical dimension list: ascending global index, i.e. decreasing
+  // cardinality — the order the view's columns are stored in.
+  std::vector<int> DimList() const;
+
+  // The partition index: the leading (highest-cardinality) dimension; the
+  // empty view maps to d-1 (it is merged with the last partition).
+  int PartitionIndex(int d) const;
+
+  // Human-readable name, e.g. "ABC" for dims {0,1,2} with d <= 26, or the
+  // schema's dimension names joined for larger d. Empty view prints "all".
+  std::string Name(const Schema& schema) const;
+
+  bool operator==(const ViewId&) const = default;
+  auto operator<=>(const ViewId&) const = default;
+
+ private:
+  std::uint32_t mask_;
+};
+
+}  // namespace sncube
+
+template <>
+struct std::hash<sncube::ViewId> {
+  std::size_t operator()(const sncube::ViewId& v) const noexcept {
+    return std::hash<std::uint32_t>{}(v.mask());
+  }
+};

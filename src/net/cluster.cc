@@ -1,0 +1,89 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/status.h"
+#include "net/internal.h"
+
+namespace sncube {
+
+Cluster::Cluster(int p, CostParams cost, DiskParams disk)
+    : p_(p), cost_(cost), disk_params_(disk) {
+  SNCUBE_CHECK_MSG(p >= 1, "cluster needs at least one processor");
+  shared_ = std::make_unique<Shared>(p);
+  stats_.resize(p);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Run(const std::function<void(Comm&)>& program) {
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(p_);
+  for (int r = 0; r < p_; ++r) {
+    comms.emplace_back(new Comm(*this, r, p_, cost_, disk_params_));
+    // Carry previous runs' accumulated stats into the endpoint so repeated
+    // Run calls aggregate.
+    comms.back()->stats_ = stats_[r];
+  }
+
+  std::vector<std::exception_ptr> errors(p_);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(p_);
+    for (int r = 0; r < p_; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          program(*comms[r]);
+          // Fold disk blocks accrued after the last collective into the
+          // final clock; they would otherwise vanish from sim_time.
+          comms[r]->FoldDisk(comms[r]->stats_.phases[comms[r]->phase_]);
+        } catch (...) {
+          errors[r] = std::current_exception();
+          // Withdraw from all future barriers so surviving ranks don't
+          // deadlock; they may subsequently fail their own checks, which is
+          // fine — the first error below is what callers see.
+          shared_->barrier.arrive_and_drop();
+        }
+      });
+    }
+  }
+  // Re-arm the barrier for the next Run (arrive_and_drop permanently lowers
+  // the count on the old one).
+  bool any_error = false;
+  for (const auto& e : errors) any_error |= (e != nullptr);
+  if (any_error) {
+    shared_ = std::make_unique<Shared>(p_);
+  }
+
+  for (int r = 0; r < p_; ++r) {
+    comms[r]->stats_.sim_time_s = comms[r]->local_time_;
+    stats_[r] = comms[r]->stats_;
+  }
+  for (const auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+double Cluster::SimTimeSeconds() const {
+  double t = 0;
+  for (const auto& rs : stats_) t = std::max(t, rs.sim_time_s);
+  return t;
+}
+
+std::uint64_t Cluster::BytesSent(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& rs : stats_) {
+    for (const auto& [name, ps] : rs.phases) {
+      if (name.rfind(prefix, 0) == 0) total += ps.bytes_sent;
+    }
+  }
+  return total;
+}
+
+void Cluster::ResetStats() {
+  for (auto& rs : stats_) rs = RankStats{};
+}
+
+}  // namespace sncube

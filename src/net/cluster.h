@@ -1,0 +1,69 @@
+// Cluster: the simulated shared-nothing multiprocessor (Figure 2a of the
+// paper — p processors, each with private memory and local disk, connected
+// by a switch).
+//
+// Each virtual processor runs the supplied SPMD program on its own thread
+// with a private Comm endpoint. After Run returns, per-rank metrics and the
+// simulated parallel wall-clock time (the BSP clock maximum) are available.
+// On a real multicore this runtime is genuinely parallel; on one core the
+// threads interleave but the simulated clock — which drives every figure —
+// is unaffected because it is computed from operation counts, not from host
+// wall time.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/disk.h"
+#include "net/comm.h"
+#include "net/metrics.h"
+#include "net/params.h"
+
+namespace sncube {
+
+class Cluster {
+ public:
+  explicit Cluster(int p, CostParams cost = FastEthernetBeowulf(),
+                   DiskParams disk = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return p_; }
+  const CostParams& cost() const { return cost_; }
+
+  // Runs `program` on every rank (SPMD). Blocks until all ranks finish.
+  // The first rank exception (by rank order) is rethrown. May be called
+  // repeatedly; metrics accumulate across calls until ResetStats().
+  void Run(const std::function<void(Comm&)>& program);
+
+  // Valid after Run. stats()[r] are rank r's accumulated metrics.
+  const std::vector<RankStats>& stats() const { return stats_; }
+
+  // Simulated parallel wall-clock time: max over ranks of the final BSP
+  // clock (seconds).
+  double SimTimeSeconds() const;
+
+  // Sum over ranks of bytes sent in phases whose label starts with `prefix`
+  // (empty prefix = all phases).
+  std::uint64_t BytesSent(const std::string& prefix = "") const;
+
+  void ResetStats();
+
+ private:
+  friend class Comm;
+  struct Shared;
+
+  int p_;
+  CostParams cost_;
+  DiskParams disk_params_;
+  std::unique_ptr<Shared> shared_;
+  std::vector<RankStats> stats_;
+};
+
+}  // namespace sncube

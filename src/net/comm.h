@@ -1,0 +1,108 @@
+// Comm: one rank's endpoint into the simulated shared-nothing cluster.
+//
+// The interface mirrors the MPI subset the paper's implementation needs —
+// AllToAllv is the h-relation (MPI_Alltoallv), plus Broadcast, Gather,
+// AllGather, AllReduce and Barrier. All operations are collective and every
+// rank of the cluster must call them in the same order (SPMD discipline,
+// as with MPI). Data crosses ranks only as serialized bytes; ranks share no
+// mutable structures, so the shared-nothing model is enforced by the type
+// system, not by convention.
+//
+// Cost accounting (the BSP clock): between collectives a rank accrues local
+// CPU seconds (ChargeScanRecords / ChargeSortRecords / ChargeCpu) and disk
+// blocks (via its DiskModel). Each collective is a superstep boundary: the
+// simulated clock advances to max over ranks of the local clocks, plus a
+// latency + bytes/bandwidth term for the communication itself. Because the
+// counts are measured from the real computation, simulated times inherit the
+// genuine balance/imbalance of the algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/disk.h"
+#include "net/metrics.h"
+#include "net/params.h"
+#include "relation/serialize.h"
+
+namespace sncube {
+
+class Cluster;
+
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  const CostParams& cost() const { return cost_; }
+
+  // ---- local cost accrual -------------------------------------------------
+  // Attribute subsequent costs to this phase label (metrics reporting).
+  void SetPhase(std::string phase);
+  const std::string& phase() const { return phase_; }
+
+  void ChargeCpu(double seconds);
+  // A linear aggregation scan touching n records.
+  void ChargeScanRecords(std::uint64_t n);
+  // An in-memory sort of n records (n·log2(n) comparison cost).
+  void ChargeSortRecords(std::uint64_t n);
+
+  // This rank's local disk. Block transfers charged here are converted to
+  // simulated seconds at the next collective.
+  DiskModel& disk() { return disk_; }
+
+  double LocalTime() const { return local_time_; }
+
+  // ---- collectives (superstep boundaries) ---------------------------------
+  // The h-relation: send[k] goes to rank k; returns the p buffers received
+  // (index = source rank). send.size() must equal size().
+  std::vector<ByteBuffer> AllToAllv(std::vector<ByteBuffer> send);
+
+  // Root's msg is delivered to every rank (root included).
+  ByteBuffer Broadcast(int root, ByteBuffer msg);
+
+  // Every rank contributes msg; root receives all p buffers (by source
+  // rank), others receive an empty vector.
+  std::vector<ByteBuffer> Gather(int root, ByteBuffer msg);
+
+  // Every rank receives all p contributions.
+  std::vector<ByteBuffer> AllGather(ByteBuffer msg);
+
+  std::uint64_t AllReduceSum(std::uint64_t v);
+  std::uint64_t AllReduceMax(std::uint64_t v);
+  double AllReduceMax(double v);
+
+  void Barrier();
+
+  // Metrics accumulated so far for this rank (phase → stats).
+  const RankStats& stats() const { return stats_; }
+
+ private:
+  friend class Cluster;
+  Comm(Cluster& cluster, int rank, int size, const CostParams& cost,
+       DiskParams disk_params);
+
+  // Converts disk blocks accrued since the last fold into simulated seconds
+  // on the local clock, attributed to `ps`.
+  void FoldDisk(PhaseStats& ps);
+  // Folds accrued disk blocks into the local clock, publishes the local
+  // clock, and stages outgoing data. Returns a reference to current phase
+  // stats.
+  PhaseStats& SyncPrologue();
+  // Advances every rank's clock identically given the published byte counts.
+  void AdvanceClock(PhaseStats& ps, std::uint64_t bytes_out,
+                    std::uint64_t bytes_in, std::uint64_t msgs,
+                    double latency_multiplier);
+
+  Cluster& cluster_;
+  int rank_;
+  int size_;
+  CostParams cost_;
+  DiskModel disk_;
+  std::uint64_t charged_blocks_ = 0;  // blocks already folded into the clock
+  double local_time_ = 0;
+  std::string phase_ = "default";
+  RankStats stats_;
+};
+
+}  // namespace sncube

@@ -1,0 +1,29 @@
+// Internal shared state of the cluster runtime. Included only by the net
+// library's .cc files — not part of the public API.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <vector>
+
+#include "net/cluster.h"
+#include "relation/serialize.h"
+
+namespace sncube {
+
+// State all ranks synchronize through. The exchange-board cell
+// board[src][dst] carries one collective's payload from src to dst. Within a
+// superstep every cell has exactly one writer (before barrier A) and one
+// mover (after barrier B); between A and B all ranks may concurrently read
+// sizes. The barriers provide the required happens-before edges, so no
+// per-cell locking is needed.
+struct Cluster::Shared {
+  explicit Shared(int p) : barrier(p), board(p, std::vector<ByteBuffer>(p)),
+                           published_times(p, 0.0) {}
+
+  std::barrier<> barrier;
+  std::vector<std::vector<ByteBuffer>> board;
+  std::vector<double> published_times;
+};
+
+}  // namespace sncube

@@ -1,0 +1,48 @@
+// Per-rank, per-phase metrics collected by the cluster runtime.
+//
+// Every byte a rank sends or receives, every disk block it transfers, and
+// every simulated CPU second it accrues is attributed to the phase label the
+// algorithm set via Comm::SetPhase — which is how the benches report, e.g.,
+// "data communicated in Merge–Partitions" for Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sncube {
+
+struct PhaseStats {
+  double cpu_s = 0;
+  double disk_s = 0;
+  double net_s = 0;  // this rank's share of collective time in the phase
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages = 0;      // non-empty destinations in collectives
+  std::uint64_t blocks = 0;        // disk block transfers
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    cpu_s += o.cpu_s;
+    disk_s += o.disk_s;
+    net_s += o.net_s;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    messages += o.messages;
+    blocks += o.blocks;
+    return *this;
+  }
+};
+
+struct RankStats {
+  std::map<std::string, PhaseStats> phases;
+  // Final simulated local clock (seconds since Run began).
+  double sim_time_s = 0;
+
+  PhaseStats Total() const {
+    PhaseStats t;
+    for (const auto& [name, ps] : phases) t += ps;
+    return t;
+  }
+};
+
+}  // namespace sncube

@@ -1,0 +1,80 @@
+// Tiny wire-format helpers for control messages (pivots, sizes, schedule
+// trees). Bulk row data uses relation/serialize.h; these helpers are for the
+// small structured payloads of broadcasts and gathers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/serialize.h"
+
+namespace sncube {
+
+// Appends a trivially-copyable value to the buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void WirePut(ByteBuffer& buf, const T& value) {
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(T));
+  std::memcpy(buf.data() + off, &value, sizeof(T));
+}
+
+// Appends a length-prefixed vector of trivially-copyable values.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void WirePutVector(ByteBuffer& buf, const std::vector<T>& v) {
+  WirePut(buf, static_cast<std::uint64_t>(v.size()));
+  const std::size_t off = buf.size();
+  buf.resize(off + v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(buf.data() + off, v.data(), v.size() * sizeof(T));
+}
+
+// Sequential reader over a ByteBuffer.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T Get() {
+    SNCUBE_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(), "wire underrun");
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> GetVector() {
+    const auto n = Get<std::uint64_t>();
+    SNCUBE_CHECK_MSG(pos_ + n * sizeof(T) <= bytes_.size(), "wire underrun");
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  // Returns a view of the next n raw bytes and advances past them.
+  std::span<const std::byte> GetBytes(std::size_t n) {
+    SNCUBE_CHECK_MSG(pos_ + n <= bytes_.size(), "wire underrun");
+    const auto view = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sncube

@@ -1,0 +1,96 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/status.h"
+#include "relation/aggregate.h"
+#include "relation/sort.h"
+
+namespace sncube {
+
+CubeQueryEngine::CubeQueryEngine(const CubeResult& cube) : cube_(cube) {}
+
+ViewId CubeQueryEngine::Route(const Query& query) const {
+  ViewId needed = query.group_by;
+  for (const auto& f : query.filters) needed = needed.With(f.dim);
+
+  ViewId best;
+  std::size_t best_rows = std::numeric_limits<std::size_t>::max();
+  bool found = false;
+  for (const auto& [id, vr] : cube_.views) {
+    if (!vr.selected || !needed.IsSubsetOf(id)) continue;
+    if (!found || vr.rel.size() < best_rows ||
+        (vr.rel.size() == best_rows && id.mask() < best.mask())) {
+      best = id;
+      best_rows = vr.rel.size();
+      found = true;
+    }
+  }
+  SNCUBE_CHECK_MSG(found, "no materialized view covers the query");
+  return best;
+}
+
+QueryAnswer CubeQueryEngine::Execute(const Query& query) const {
+  const ViewId source = Route(query);
+  const ViewResult& vr = cube_.views.at(source);
+
+  QueryAnswer answer;
+  answer.answered_from = source;
+  answer.rows_scanned = vr.rel.size();
+
+  // Filter columns (within the source view's canonical layout).
+  struct ColFilter {
+    int col;
+    Key value;
+  };
+  std::vector<ColFilter> col_filters;
+  for (const auto& f : query.filters) {
+    const auto cols = ColumnsOf(source, {f.dim});
+    col_filters.push_back({cols[0], f.value});
+  }
+  const std::vector<int> group_cols =
+      ColumnsOf(source, query.group_by.DimList());
+
+  Relation projected(query.group_by.dim_count());
+  std::vector<Key> keys(group_cols.size());
+  for (std::size_t r = 0; r < vr.rel.size(); ++r) {
+    bool keep = true;
+    for (const auto& cf : col_filters) {
+      if (vr.rel.key(r, cf.col) != cf.value) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    for (std::size_t i = 0; i < group_cols.size(); ++i) {
+      keys[i] = vr.rel.key(r, group_cols[i]);
+    }
+    projected.Append(keys, vr.rel.measure(r));
+  }
+  answer.rel =
+      SortAndAggregate(projected, IdentityOrder(projected.width()), query.fn);
+
+  if (query.top_k > 0 &&
+      static_cast<std::size_t>(query.top_k) < answer.rel.size()) {
+    // ORDER BY measure DESC LIMIT top_k (ties by key order for determinism).
+    std::vector<std::size_t> rows(answer.rel.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    const auto k = static_cast<std::size_t>(query.top_k);
+    std::partial_sort(rows.begin(), rows.begin() + k, rows.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        if (answer.rel.measure(a) != answer.rel.measure(b)) {
+                          return answer.rel.measure(a) > answer.rel.measure(b);
+                        }
+                        return a < b;
+                      });
+    Relation top(answer.rel.width());
+    top.Reserve(k);
+    for (std::size_t i = 0; i < k; ++i) top.AppendRow(answer.rel, rows[i]);
+    answer.rel = std::move(top);
+  }
+  return answer;
+}
+
+}  // namespace sncube

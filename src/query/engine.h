@@ -1,0 +1,61 @@
+// OLAP query answering over a materialized ROLAP cube — the reason the cube
+// is precomputed at all (paper Section 1: fast execution of subsequent OLAP
+// queries [10]).
+//
+// A query groups by a set of dimensions, optionally after equality filters
+// (slice/dice). The engine routes it to the SMALLEST materialized view
+// containing every referenced dimension (group-by ∪ filters) and aggregates
+// from there — the standard lattice-routing argument of Harinarayan et
+// al. [12]. With a full cube the exact view always exists; with a partial
+// cube the router falls back to the cheapest materialized ancestor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lattice/view_id.h"
+#include "relation/relation.h"
+#include "relation/types.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+struct DimFilter {
+  int dim = 0;   // global dimension index
+  Key value = 0;  // keep rows where dim == value
+};
+
+struct Query {
+  ViewId group_by;
+  std::vector<DimFilter> filters;
+  AggFn fn = AggFn::kSum;
+  // When > 0: return only the top_k groups by measure, descending (ties by
+  // key ascending) — ORDER BY measure DESC LIMIT k. 0 = all groups, key
+  // order.
+  int top_k = 0;
+};
+
+struct QueryAnswer {
+  Relation rel;          // canonical columns of group_by, rows sorted
+  ViewId answered_from;  // the materialized view the engine scanned
+  std::uint64_t rows_scanned = 0;
+};
+
+class CubeQueryEngine {
+ public:
+  // The engine keeps a reference to the cube; it must outlive the engine.
+  explicit CubeQueryEngine(const CubeResult& cube);
+
+  // The materialized view a query would be routed to (smallest row count
+  // among views containing all referenced dimensions). Throws when no
+  // materialized view covers the query (possible for partial cubes).
+  ViewId Route(const Query& query) const;
+
+  QueryAnswer Execute(const Query& query) const;
+
+ private:
+  const CubeResult& cube_;
+};
+
+}  // namespace sncube

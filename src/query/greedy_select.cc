@@ -1,0 +1,70 @@
+#include "query/greedy_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/status.h"
+#include "lattice/lattice.h"
+
+namespace sncube {
+
+std::vector<ViewId> GreedySelectViews(int d, int count,
+                                      const ViewSizeEstimator& estimator) {
+  SNCUBE_CHECK(d >= 1 && d <= 20);
+  const std::uint32_t total = 1u << d;
+  SNCUBE_CHECK(count >= 1 && static_cast<std::uint32_t>(count) <= total);
+
+  std::vector<double> size(total);
+  for (std::uint32_t m = 0; m < total; ++m) {
+    size[m] = estimator.EstimateRows(ViewId(m));
+  }
+
+  // cost[w] = rows scanned to answer w from its cheapest selected ancestor.
+  const std::uint32_t full = total - 1;
+  std::vector<double> cost(total, size[full]);
+  std::vector<bool> selected_mask(total, false);
+  selected_mask[full] = true;
+
+  std::vector<ViewId> selected{ViewId(full)};
+  while (static_cast<int>(selected.size()) < count) {
+    double best_benefit = -1;
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 0; v < total; ++v) {
+      if (selected_mask[v]) continue;
+      // Benefit: Σ over subsets w of v of max(0, cost[w] − size[v]).
+      double benefit = 0;
+      std::uint32_t w = v;
+      while (true) {
+        if (cost[w] > size[v]) benefit += cost[w] - size[v];
+        if (w == 0) break;
+        w = (w - 1) & v;
+      }
+      if (benefit > best_benefit ||
+          (benefit == best_benefit && v < best)) {
+        best_benefit = benefit;
+        best = v;
+      }
+    }
+    selected_mask[best] = true;
+    selected.emplace_back(best);
+    std::uint32_t w = best;
+    while (true) {
+      cost[w] = std::min(cost[w], size[best]);
+      if (w == 0) break;
+      w = (w - 1) & best;
+    }
+  }
+  return selected;
+}
+
+std::vector<ViewId> GreedySelectFraction(int d, double fraction,
+                                         const ViewSizeEstimator& estimator) {
+  SNCUBE_CHECK(fraction > 0 && fraction <= 1.0);
+  const auto total = static_cast<double>(1u << d);
+  int count = static_cast<int>(std::lround(fraction * total));
+  count = std::max(1, count);
+  return GreedySelectViews(d, count, estimator);
+}
+
+}  // namespace sncube

@@ -1,0 +1,30 @@
+// Greedy view selection (Harinarayan, Rajaraman & Ullman [12]) — the
+// standard way a user picks WHICH views to materialize, i.e. the selected
+// set S a partial cube (paper Section 3) is built for.
+//
+// The benefit of materializing view v, given the already-selected set, is
+// the total query-cost saving over all views w ⊆ v that would now be
+// answered from v instead of their current cheapest ancestor. The greedy
+// algorithm picks the maximum-benefit view k times; HRU prove it achieves at
+// least 63% of the optimal benefit.
+#pragma once
+
+#include <vector>
+
+#include "lattice/estimate.h"
+#include "lattice/view_id.h"
+
+namespace sncube {
+
+// Selects `count` views of the d-dimensional lattice (the full view is
+// always selected first and counts toward `count`). Estimated sizes come
+// from `estimator`. Returns the selected views, selection order preserved.
+std::vector<ViewId> GreedySelectViews(int d, int count,
+                                      const ViewSizeEstimator& estimator);
+
+// Convenience for the paper's "k% of views selected" experiments: selects
+// round(fraction · 2^d) views greedily.
+std::vector<ViewId> GreedySelectFraction(int d, double fraction,
+                                         const ViewSizeEstimator& estimator);
+
+}  // namespace sncube

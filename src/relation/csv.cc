@@ -1,0 +1,53 @@
+#include "relation/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace sncube {
+
+void WriteCsv(std::ostream& os, const Relation& rel,
+              const std::vector<std::string>& names,
+              const std::string& measure_name) {
+  SNCUBE_CHECK(static_cast<int>(names.size()) == rel.width());
+  for (const auto& n : names) os << n << ',';
+  os << measure_name << '\n';
+  for (std::size_t row = 0; row < rel.size(); ++row) {
+    for (Key k : rel.RowKeys(row)) os << k << ',';
+    os << rel.measure(row) << '\n';
+  }
+}
+
+Relation ReadCsv(std::istream& is) {
+  std::string line;
+  SNCUBE_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                   "CSV missing header");
+  int columns = 1;
+  for (char c : line) {
+    if (c == ',') ++columns;
+  }
+  SNCUBE_CHECK_MSG(columns >= 1, "CSV header has no columns");
+  const int width = columns - 1;
+
+  Relation rel(width);
+  std::vector<Key> keys(static_cast<std::size_t>(width));
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    for (int c = 0; c < width; ++c) {
+      SNCUBE_CHECK_MSG(static_cast<bool>(std::getline(ls, cell, ',')),
+                       "CSV row too short");
+      keys[static_cast<std::size_t>(c)] =
+          static_cast<Key>(std::stoul(cell));
+    }
+    SNCUBE_CHECK_MSG(static_cast<bool>(std::getline(ls, cell, ',')),
+                     "CSV row missing measure");
+    rel.Append(keys, static_cast<Measure>(std::stoll(cell)));
+  }
+  return rel;
+}
+
+}  // namespace sncube

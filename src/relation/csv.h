@@ -1,0 +1,24 @@
+// CSV import/export so examples can exchange data with relational tooling —
+// the paper's motivation for ROLAP is integration with relational databases,
+// and a view written as CSV loads straight into one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace sncube {
+
+// Writes `rel` as CSV with a header row: the given column names plus the
+// measure column name (default "measure"). names.size() must equal width.
+void WriteCsv(std::ostream& os, const Relation& rel,
+              const std::vector<std::string>& names,
+              const std::string& measure_name = "measure");
+
+// Reads CSV produced by WriteCsv (header skipped, last column = measure).
+// Returns a relation whose width is the header's column count minus one.
+Relation ReadCsv(std::istream& is);
+
+}  // namespace sncube

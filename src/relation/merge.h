@@ -1,0 +1,55 @@
+// K-way merge of sorted relations (same width), used by the parallel sorter
+// (merging the p runs an h-relation delivers) and by Merge–Partitions when
+// agglomerating overlap fragments.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace sncube {
+
+// Merges relations that are each sorted by `cols` into one relation sorted
+// by `cols`. Stable across runs: ties keep lower run index first.
+inline Relation MergeSortedRuns(const std::vector<Relation>& runs,
+                                std::span<const int> cols) {
+  int width = 0;
+  std::size_t total = 0;
+  for (const auto& r : runs) {
+    if (r.width() > width) width = r.width();
+    total += r.size();
+  }
+  Relation out(width);
+  out.Reserve(total);
+
+  struct Cursor {
+    const Relation* rel;
+    std::size_t row;
+    std::size_t index;  // run index, for stable tie-break
+  };
+  std::vector<Cursor> heap;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].empty()) heap.push_back({&runs[i], 0, i});
+  }
+  auto greater = [cols](const Cursor& a, const Cursor& b) {
+    const int cmp = CompareRows(*a.rel, a.row, cols, *b.rel, b.row, cols);
+    if (cmp != 0) return cmp > 0;
+    return a.index > b.index;
+  };
+  std::make_heap(heap.begin(), heap.end(), greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    Cursor& c = heap.back();
+    out.AppendRow(*c.rel, c.row);
+    if (++c.row < c.rel->size()) {
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace sncube

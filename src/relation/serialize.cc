@@ -1,0 +1,57 @@
+#include "relation/serialize.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace sncube {
+
+void SerializeRows(const Relation& rel, std::size_t begin, std::size_t end,
+                   ByteBuffer& out) {
+  SNCUBE_CHECK(begin <= end && end <= rel.size());
+  const std::size_t row_bytes = rel.RowBytes();
+  const std::size_t offset = out.size();
+  out.resize(offset + (end - begin) * row_bytes);
+  std::byte* dst = out.data() + offset;
+  for (std::size_t row = begin; row < end; ++row) {
+    const auto keys = rel.RowKeys(row);
+    std::memcpy(dst, keys.data(), keys.size_bytes());
+    dst += keys.size_bytes();
+    const Measure m = rel.measure(row);
+    std::memcpy(dst, &m, sizeof(m));
+    dst += sizeof(m);
+  }
+}
+
+ByteBuffer SerializeRelation(const Relation& rel) {
+  ByteBuffer out;
+  out.reserve(rel.ByteSize());
+  SerializeRows(rel, 0, rel.size(), out);
+  return out;
+}
+
+void DeserializeRows(std::span<const std::byte> bytes, Relation& out) {
+  const std::size_t row_bytes = out.RowBytes();
+  SNCUBE_CHECK_MSG(bytes.size() % row_bytes == 0,
+                   "byte stream is not a whole number of rows");
+  const std::size_t rows = bytes.size() / row_bytes;
+  std::vector<Key> keys(static_cast<std::size_t>(out.width()));
+  const std::byte* src = bytes.data();
+  out.Reserve(out.size() + rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::memcpy(keys.data(), src, keys.size() * sizeof(Key));
+    src += keys.size() * sizeof(Key);
+    Measure m;
+    std::memcpy(&m, src, sizeof(m));
+    src += sizeof(m);
+    out.Append(keys, m);
+  }
+}
+
+Relation DeserializeRelation(std::span<const std::byte> bytes, int width) {
+  Relation out(width);
+  DeserializeRows(bytes, out);
+  return out;
+}
+
+}  // namespace sncube

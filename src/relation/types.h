@@ -1,0 +1,32 @@
+// Fundamental value types of the ROLAP layer.
+//
+// Dimension attributes are dense 32-bit codes (a real deployment would map
+// dictionary-encoded dimension values to these codes; the paper's synthetic
+// workloads generate codes directly). The measure is a 64-bit integer and
+// aggregation is any commutative, associative combine over it.
+#pragma once
+
+#include <cstdint>
+
+namespace sncube {
+
+using Key = std::uint32_t;      // one dimension attribute value
+using Measure = std::int64_t;   // the aggregated fact measure
+
+// Distributive aggregate functions supported by the cube. COUNT is SUM over
+// a measure column of all-ones, which is how the data generators encode it.
+enum class AggFn : std::uint8_t { kSum, kMin, kMax };
+
+inline Measure CombineMeasure(AggFn fn, Measure a, Measure b) {
+  switch (fn) {
+    case AggFn::kSum:
+      return a + b;
+    case AggFn::kMin:
+      return a < b ? a : b;
+    case AggFn::kMax:
+      return a > b ? a : b;
+  }
+  return a;  // unreachable
+}
+
+}  // namespace sncube

@@ -1,0 +1,97 @@
+#include "schedule/matching.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace sncube {
+
+std::vector<int> HungarianMinCost(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return {};
+  const int m = static_cast<int>(cost[0].size());
+  SNCUBE_CHECK_MSG(n <= m, "assignment needs rows <= cols");
+  for (const auto& row : cost) SNCUBE_CHECK(static_cast<int>(row.size()) == m);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Kuhn–Munkres with row/column potentials (1-based internal indexing).
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0);    // p[j] = row matched to column j
+  std::vector<int> way(m + 1, 0);  // alternating-path predecessor column
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Unwind the alternating path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] != 0) assignment[p[j] - 1] = j - 1;
+  }
+  return assignment;
+}
+
+std::vector<int> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weight) {
+  const int n = static_cast<int>(weight.size());
+  if (n == 0) return {};
+  const int m = static_cast<int>(weight[0].size());
+
+  // Minimize cost = -weight over real columns; n dummy columns at cost 0
+  // represent "leave unmatched". Non-positive weights also cost 0, so the
+  // optimum never gains from them; they are filtered from the result.
+  std::vector<std::vector<double>> cost(
+      n, std::vector<double>(m + n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (weight[i][j] > 0) cost[i][j] = -weight[i][j];
+    }
+  }
+  const std::vector<int> assignment = HungarianMinCost(cost);
+
+  std::vector<int> match(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const int j = assignment[i];
+    if (j >= 0 && j < m && weight[i][j] > 0) match[i] = j;
+  }
+  return match;
+}
+
+}  // namespace sncube

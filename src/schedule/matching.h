@@ -1,0 +1,28 @@
+// Bipartite matching, the combinatorial core of Pipesort's schedule-tree
+// construction (Section 2.1: "a minimum cost bi-partite matching" between
+// adjacent lattice levels).
+//
+// HungarianMinCost solves the rectangular assignment problem exactly in
+// O(rows²·cols) (Kuhn–Munkres with potentials). MaxWeightBipartiteMatching
+// is the wrapper the scheduler uses: it maximizes total weight, may leave
+// vertices unmatched, and ignores non-positive weights (a child whose best
+// scan parent saves nothing over a plain sort is simply not scan-matched).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sncube {
+
+// cost[i][j] = cost of assigning row i to column j. Requires
+// rows <= cols; every row is assigned to a distinct column minimizing total
+// cost. Returns assignment[i] = column of row i.
+std::vector<int> HungarianMinCost(const std::vector<std::vector<double>>& cost);
+
+// weight[i][j] > 0 are admissible edges; <= 0 means "no edge". Returns
+// match[i] = j (or -1 when row i is left unmatched); each column used at
+// most once; total matched weight is maximal.
+std::vector<int> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weight);
+
+}  // namespace sncube

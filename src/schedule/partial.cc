@@ -1,0 +1,170 @@
+#include "schedule/partial.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "schedule/pipesort.h"
+
+namespace sncube {
+namespace {
+
+// The partition's complete sub-lattice: every subset of `root` keeping the
+// root's leading dimension, plus the empty view when it is selected (it only
+// occurs in the last partition). Exponential in root's dimension count — the
+// paper's workloads stay at d ≤ 10.
+std::vector<ViewId> PartitionUniverse(ViewId root, bool include_empty) {
+  SNCUBE_CHECK_MSG(root.dim_count() <= 16,
+                   "pruned-Pipesort universe too large; use kGreedyLattice");
+  const auto dims = root.DimList();
+  SNCUBE_CHECK(!dims.empty());
+  const int lead = dims.front();
+  std::vector<int> rest(dims.begin() + 1, dims.end());
+
+  std::vector<ViewId> universe;
+  universe.reserve((1u << rest.size()) + 1);
+  for (std::uint32_t bits = 0; bits < (1u << rest.size()); ++bits) {
+    ViewId v = ViewId::Empty().With(lead);
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if ((bits >> i) & 1u) v = v.With(rest[i]);
+    }
+    universe.push_back(v);
+  }
+  if (include_empty) universe.push_back(ViewId::Empty());
+  return universe;
+}
+
+ScheduleTree PrunedPipesortTree(const std::vector<ViewId>& selected,
+                                ViewId root,
+                                const std::vector<int>& root_order,
+                                const ViewSizeEstimator& estimator) {
+  std::unordered_set<ViewId> wanted(selected.begin(), selected.end());
+  if (root.empty()) {
+    // Degenerate partition holding only the "all" view.
+    ScheduleTree t;
+    t.AddRoot(root, root_order, estimator.EstimateRows(root), true);
+    t.ResolveOrders();
+    return t;
+  }
+  // The pruned strategy enumerates the partition's sub-lattice, which only
+  // covers views keeping the root's leading dimension — the shape every
+  // Di-partition has. Reject misuse on arbitrary view sets.
+  const int lead = root.DimList().front();
+  for (ViewId v : selected) {
+    SNCUBE_CHECK_MSG(v.empty() || v.Contains(lead),
+                     "kPrunedPipesort needs partition-shaped selections");
+  }
+  const bool include_empty = wanted.contains(ViewId::Empty());
+  const ScheduleTree full = BuildPipesortTree(
+      PartitionUniverse(root, include_empty), root, root_order, estimator);
+
+  // Keep the union of root→selected paths.
+  std::vector<bool> keep(static_cast<std::size_t>(full.size()), false);
+  keep[ScheduleTree::kRootIndex] = true;
+  for (int i = 0; i < full.size(); ++i) {
+    if (!wanted.contains(full.node(i).view)) continue;
+    for (int a = i; a >= 0; a = full.node(a).parent) {
+      if (keep[a]) break;
+      keep[a] = true;
+    }
+  }
+
+  // Rebuild with kept nodes only (original index order is topological).
+  ScheduleTree pruned;
+  std::vector<int> remap(static_cast<std::size_t>(full.size()), -1);
+  remap[0] = pruned.AddRoot(root, root_order, full.root().est_rows,
+                            wanted.contains(root));
+  for (int i = 1; i < full.size(); ++i) {
+    if (!keep[i]) continue;
+    const ScheduleNode& n = full.node(i);
+    remap[i] = pruned.AddChild(remap[n.parent], n.view, n.edge, n.est_rows,
+                               wanted.contains(n.view));
+  }
+  pruned.ResolveOrders();
+  return pruned;
+}
+
+ScheduleTree GreedyLatticeTree(const std::vector<ViewId>& selected,
+                               ViewId root,
+                               const std::vector<int>& root_order,
+                               const ViewSizeEstimator& estimator) {
+  std::unordered_set<ViewId> wanted(selected.begin(), selected.end());
+  ScheduleTree tree;
+  tree.AddRoot(root, root_order, estimator.EstimateRows(root),
+               wanted.contains(root));
+
+  std::vector<ViewId> todo;
+  for (ViewId v : selected) {
+    SNCUBE_CHECK_MSG(v.IsSubsetOf(root), "selected view outside the root");
+    if (v != root) todo.push_back(v);
+  }
+  // Bigger views first so they are available as parents; mask order breaks
+  // ties deterministically.
+  std::sort(todo.begin(), todo.end(), [](ViewId a, ViewId b) {
+    if (a.dim_count() != b.dim_count()) return a.dim_count() > b.dim_count();
+    return a.mask() < b.mask();
+  });
+
+  for (ViewId v : todo) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_parent = -1;
+    EdgeKind best_kind = EdgeKind::kSort;
+    for (int u = 0; u < tree.size(); ++u) {
+      const ScheduleNode& un = tree.node(u);
+      if (!v.IsProperSubsetOf(un.view)) continue;
+      // Scan beats sort from the same parent, so test it first.
+      if (tree.ScanChild(u) < 0 && ScanEligible(un, v)) {
+        const double c = ScanCost(un.est_rows);
+        if (c < best_cost) {
+          best_cost = c;
+          best_parent = u;
+          best_kind = EdgeKind::kScan;
+        }
+      }
+      const double s = SortCost(un.est_rows);
+      if (s < best_cost) {
+        best_cost = s;
+        best_parent = u;
+        best_kind = EdgeKind::kSort;
+      }
+    }
+    SNCUBE_CHECK(best_parent >= 0);  // root is always a superset
+    tree.AddChild(best_parent, v, best_kind, estimator.EstimateRows(v));
+  }
+  tree.ResolveOrders();
+  return tree;
+}
+
+}  // namespace
+
+ScheduleTree BuildPartialTree(const std::vector<ViewId>& selected, ViewId root,
+                              const std::vector<int>& root_order,
+                              const ViewSizeEstimator& estimator,
+                              PartialStrategy strategy) {
+  SNCUBE_CHECK(!selected.empty());
+  switch (strategy) {
+    case PartialStrategy::kPrunedPipesort:
+      return PrunedPipesortTree(selected, root, root_order, estimator);
+    case PartialStrategy::kGreedyLattice:
+      return GreedyLatticeTree(selected, root, root_order, estimator);
+  }
+  SNCUBE_CHECK_MSG(false, "unknown strategy");
+  return ScheduleTree{};
+}
+
+ScheduleTree BuildBestPartialTree(const std::vector<ViewId>& selected,
+                                  ViewId root,
+                                  const std::vector<int>& root_order,
+                                  const ViewSizeEstimator& estimator) {
+  ScheduleTree pruned = BuildPartialTree(selected, root, root_order, estimator,
+                                         PartialStrategy::kPrunedPipesort);
+  ScheduleTree greedy = BuildPartialTree(selected, root, root_order, estimator,
+                                         PartialStrategy::kGreedyLattice);
+  // Auxiliary views cost real work too; EstimatedCost already counts their
+  // incoming edges, so a straight comparison is fair.
+  return pruned.EstimatedCost() <= greedy.EstimatedCost() ? std::move(pruned)
+                                                          : std::move(greedy);
+}
+
+}  // namespace sncube

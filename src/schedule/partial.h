@@ -1,0 +1,45 @@
+// Partial-cube schedule trees (Section 3 of the paper, after Dehne, Eavis &
+// Rau-Chaplin, "Computing Partial Data Cubes" — the paper's reference [4]).
+//
+// When only a subset S of views is selected, the Di-partition view sets can
+// have gaps, so plain Pipesort no longer applies. Reference [4] offers two
+// routes, both implemented here:
+//
+//  * kPrunedPipesort — build the full Pipesort tree over every view of the
+//    partition's sub-lattice, then keep exactly the union of root-to-
+//    selected paths. Intermediate views kept this way are materialized as
+//    auxiliaries (computed locally, not merged or output) — the
+//    "intermediate views" of Figure 1c.
+//  * kGreedyLattice — grow a tree directly from the lattice: selected views
+//    in decreasing dimension count each attach to the cheapest tree node
+//    that is a proper superset, by scan when the parent still has its scan
+//    slot (and is order-compatible), otherwise by sort. No intermediates
+//    are introduced; scan edges may skip levels.
+#pragma once
+
+#include <vector>
+
+#include "lattice/estimate.h"
+#include "lattice/view_id.h"
+#include "schedule/schedule_tree.h"
+
+namespace sncube {
+
+enum class PartialStrategy { kPrunedPipesort, kGreedyLattice };
+
+// Builds a schedule tree materializing at least `selected` (all subsets of
+// `root`; `root` itself may or may not be selected). Auxiliary nodes carry
+// selected = false.
+ScheduleTree BuildPartialTree(const std::vector<ViewId>& selected, ViewId root,
+                              const std::vector<int>& root_order,
+                              const ViewSizeEstimator& estimator,
+                              PartialStrategy strategy);
+
+// Picks the cheaper of the two strategies by estimated cost (what [4] does
+// when allowed to choose).
+ScheduleTree BuildBestPartialTree(const std::vector<ViewId>& selected,
+                                  ViewId root,
+                                  const std::vector<int>& root_order,
+                                  const ViewSizeEstimator& estimator);
+
+}  // namespace sncube

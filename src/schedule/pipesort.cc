@@ -1,0 +1,89 @@
+#include "schedule/pipesort.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/status.h"
+#include "schedule/matching.h"
+
+namespace sncube {
+
+ScheduleTree BuildPipesortTree(const std::vector<ViewId>& views, ViewId root,
+                               const std::vector<int>& root_order,
+                               const ViewSizeEstimator& estimator) {
+  ScheduleTree tree;
+  bool root_selected = false;
+  std::map<int, std::vector<ViewId>, std::greater<>> levels;  // level → views
+  for (ViewId v : views) {
+    SNCUBE_CHECK_MSG(v.IsSubsetOf(root), "view outside the partition root");
+    if (v == root) {
+      root_selected = true;
+      continue;
+    }
+    levels[v.dim_count()].push_back(v);
+  }
+  for (auto& [level, vs] : levels) {
+    SNCUBE_CHECK_MSG(level < root.dim_count(), "duplicate root level");
+    std::sort(vs.begin(), vs.end());
+  }
+
+  tree.AddRoot(root, root_order, estimator.EstimateRows(root), root_selected);
+
+  // node index per already-placed view, maintained level by level.
+  std::vector<int> parents{ScheduleTree::kRootIndex};
+  int parent_level = root.dim_count();
+
+  for (const auto& [level, children] : levels) {
+    SNCUBE_CHECK_MSG(
+        level == parent_level - 1,
+        "level gap in partition views — complete the set first (partial.h)");
+
+    // Fallback: cheapest sort parent per child.
+    const int nc = static_cast<int>(children.size());
+    const int np = static_cast<int>(parents.size());
+    std::vector<double> min_sort(nc, std::numeric_limits<double>::infinity());
+    std::vector<int> min_sort_parent(nc, -1);
+    for (int c = 0; c < nc; ++c) {
+      for (int p = 0; p < np; ++p) {
+        const ScheduleNode& pn = tree.node(parents[p]);
+        if (!children[c].IsProperSubsetOf(pn.view)) continue;
+        const double s = SortCost(pn.est_rows);
+        if (s < min_sort[c]) {
+          min_sort[c] = s;
+          min_sort_parent[c] = p;
+        }
+      }
+      SNCUBE_CHECK_MSG(min_sort_parent[c] >= 0,
+                       "view has no parent one level up");
+    }
+
+    // Scan matching: weight = saving of a scan over the child's best sort.
+    std::vector<std::vector<double>> weight(nc, std::vector<double>(np, 0.0));
+    for (int c = 0; c < nc; ++c) {
+      for (int p = 0; p < np; ++p) {
+        const ScheduleNode& pn = tree.node(parents[p]);
+        if (!ScanEligible(pn, children[c])) continue;
+        weight[c][p] = min_sort[c] - ScanCost(pn.est_rows);
+      }
+    }
+    const std::vector<int> match = MaxWeightBipartiteMatching(weight);
+
+    std::vector<int> placed;
+    placed.reserve(children.size());
+    for (int c = 0; c < nc; ++c) {
+      const bool scan = match[c] >= 0;
+      const int parent_index = parents[scan ? match[c] : min_sort_parent[c]];
+      placed.push_back(tree.AddChild(parent_index, children[c],
+                                     scan ? EdgeKind::kScan : EdgeKind::kSort,
+                                     estimator.EstimateRows(children[c])));
+    }
+    parents = std::move(placed);
+    parent_level = level;
+  }
+
+  tree.ResolveOrders();
+  return tree;
+}
+
+}  // namespace sncube

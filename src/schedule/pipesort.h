@@ -1,0 +1,37 @@
+// Pipesort schedule-tree construction (Sarawagi, Agrawal & Gupta [20]),
+// applied per Di-partition as in Step 2a of Procedure 1.
+//
+// Levels of the partition's sub-lattice are processed top-down; between each
+// pair of adjacent levels a maximum-weight bipartite matching decides which
+// child is produced from which parent by a cheap linear scan rather than a
+// re-sort. The matching formulation: a child's fallback is its cheapest
+// sort parent (cost S(p) = |p|·log|p|); scan-matching it to parent p instead
+// saves minSort(child) − A(p), and each parent can drive at most one scan
+// (its sort order has exactly one chain of prefixes). Maximizing the total
+// saving over a bipartite matching is exactly Pipesort's minimum-cost
+// level matching.
+//
+// The root's sort order is imposed by the caller (the global sort of
+// Step 1b), so scan edges out of the root — and transitively down the
+// root's scan chain — are only offered to prefix-compatible children.
+#pragma once
+
+#include <vector>
+
+#include "lattice/estimate.h"
+#include "lattice/view_id.h"
+#include "schedule/schedule_tree.h"
+
+namespace sncube {
+
+// Builds the Pipesort tree for `views`, all of which must be subsets of
+// `root` (the root itself may be included in `views`; if absent it is added
+// as an auxiliary node). Every non-root view must have a proper-superset
+// parent exactly one level above it within views ∪ {root} — true for full
+// cube Di-partitions; partial-cube view sets must be completed first (see
+// partial.h).
+ScheduleTree BuildPipesortTree(const std::vector<ViewId>& views, ViewId root,
+                               const std::vector<int>& root_order,
+                               const ViewSizeEstimator& estimator);
+
+}  // namespace sncube

@@ -1,0 +1,52 @@
+// Schedule-tree execution with pipelined aggregation — the second phase of
+// every top-down cube method (paper Section 2.1/2.3).
+//
+// A pipeline is a maximal chain of scan edges. Its head is materialized by
+// one (external-memory) sort of the parent's data; one linear scan of the
+// sorted rows then emits EVERY view on the chain simultaneously, because
+// each chain view's dimensions are a prefix of the head's sort order and its
+// groups close exactly when that prefix changes. This is what makes
+// Pipesort-style trees cheap: d views for one sort + one scan.
+#pragma once
+
+#include <cstdint>
+
+#include "io/disk.h"
+#include "relation/types.h"
+#include "schedule/schedule_tree.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+struct ExecStats {
+  std::uint64_t records_scanned = 0;  // rows read by pipeline scans
+  std::uint64_t rows_emitted = 0;     // rows written across all views
+  std::uint64_t sorts = 0;            // pipeline-head sorts performed
+  std::uint64_t scans = 0;            // pipeline scan passes
+  // Σ n·log2(max(n,2)) over all sorts — multiply by the CPU sort constant
+  // to get simulated seconds.
+  double sort_cost_units = 0;
+
+  ExecStats& operator+=(const ExecStats& o) {
+    records_scanned += o.records_scanned;
+    rows_emitted += o.rows_emitted;
+    sorts += o.sorts;
+    scans += o.scans;
+    sort_cost_units += o.sort_cost_units;
+    return *this;
+  }
+};
+
+// Materializes every view of `tree` from `root_data`, which must be the root
+// view's relation: canonical column layout, rows sorted by tree.root().order
+// and already aggregated (one row per distinct root key).
+//
+// When `disk` is non-null, pipeline sorts run through the external-memory
+// sorter against it and view reads/writes are charged to it; otherwise
+// everything stays in memory uncharged. Stats accumulate into *stats when
+// given. The result contains every tree node (auxiliaries flagged).
+CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
+                               AggFn fn, DiskModel* disk = nullptr,
+                               ExecStats* stats = nullptr);
+
+}  // namespace sncube

@@ -1,0 +1,145 @@
+#include "seqcube/view_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "relation/serialize.h"
+
+namespace sncube {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534E4356;  // "SNCV"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+ViewStore::ViewStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path ViewStore::PathFor(ViewId id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "v%05x.sncv", id.mask());
+  return dir_ / name;
+}
+
+void ViewStore::SaveSchema(const Schema& schema) const {
+  std::ofstream out(dir_ / "manifest.txt");
+  SNCUBE_CHECK_MSG(out.good(), "cannot write manifest");
+  out << "sncube-manifest 1\n" << schema.dims() << "\n";
+  for (int i = 0; i < schema.dims(); ++i) {
+    out << schema.name(i) << ' ' << schema.cardinality(i) << "\n";
+  }
+}
+
+Schema ViewStore::LoadSchema() const {
+  std::ifstream in(dir_ / "manifest.txt");
+  SNCUBE_CHECK_MSG(in.good(), "missing manifest.txt");
+  std::string magic;
+  int version = 0;
+  int d = 0;
+  in >> magic >> version >> d;
+  SNCUBE_CHECK_MSG(magic == "sncube-manifest" && version == 1,
+                   "unrecognized manifest");
+  SNCUBE_CHECK(d >= 1 && d <= ViewId::kMaxDims);
+  std::vector<std::string> names(static_cast<std::size_t>(d));
+  std::vector<std::uint32_t> cards(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    in >> names[static_cast<std::size_t>(i)] >> cards[static_cast<std::size_t>(i)];
+  }
+  SNCUBE_CHECK_MSG(static_cast<bool>(in), "truncated manifest");
+  return Schema(cards, names);
+}
+
+void ViewStore::Save(const ViewResult& view) const {
+  ByteBuffer header;
+  WirePut(header, kMagic);
+  WirePut(header, kVersion);
+  WirePut(header, view.id.mask());
+  WirePut(header, static_cast<std::uint32_t>(view.rel.width()));
+  WirePutVector(header,
+                std::vector<std::uint8_t>(view.order.begin(), view.order.end()));
+  WirePut(header, static_cast<std::uint64_t>(view.rel.size()));
+
+  std::ofstream out(PathFor(view.id), std::ios::binary | std::ios::trunc);
+  SNCUBE_CHECK_MSG(out.good(), "cannot open view file for writing");
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  const ByteBuffer rows = SerializeRelation(view.rel);
+  out.write(reinterpret_cast<const char*>(rows.data()),
+            static_cast<std::streamsize>(rows.size()));
+  SNCUBE_CHECK_MSG(out.good(), "short write to view file");
+}
+
+void ViewStore::SaveCube(const CubeResult& cube, const Schema& schema) const {
+  SaveSchema(schema);
+  for (const auto& [id, vr] : cube.views) {
+    if (vr.selected) Save(vr);
+  }
+}
+
+ViewResult ViewStore::Load(ViewId id) const {
+  std::ifstream in(PathFor(id), std::ios::binary);
+  SNCUBE_CHECK_MSG(in.good(), "view file missing");
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  ByteBuffer bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  SNCUBE_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(size),
+                   "short read from view file");
+
+  WireReader reader(bytes);
+  SNCUBE_CHECK_MSG(reader.Get<std::uint32_t>() == kMagic, "bad view magic");
+  SNCUBE_CHECK_MSG(reader.Get<std::uint32_t>() == kVersion,
+                   "unsupported view version");
+  ViewResult vr;
+  vr.id = ViewId(reader.Get<std::uint32_t>());
+  SNCUBE_CHECK_MSG(vr.id == id, "view file holds a different view");
+  const auto width = reader.Get<std::uint32_t>();
+  SNCUBE_CHECK(width == static_cast<std::uint32_t>(id.dim_count()));
+  const auto order = reader.GetVector<std::uint8_t>();
+  vr.order.assign(order.begin(), order.end());
+  const auto rows = reader.Get<std::uint64_t>();
+  vr.rel = Relation(static_cast<int>(width));
+  vr.rel.Reserve(rows);
+  DeserializeRows(reader.GetBytes(rows * vr.rel.RowBytes()), vr.rel);
+  SNCUBE_CHECK_MSG(reader.AtEnd(), "trailing bytes in view file");
+  return vr;
+}
+
+std::vector<ViewId> ViewStore::List() const {
+  std::vector<ViewId> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 11 || name.compare(0, 1, "v") != 0 ||
+        entry.path().extension() != ".sncv") {
+      continue;
+    }
+    const std::uint32_t mask =
+        static_cast<std::uint32_t>(std::stoul(name.substr(1, 5), nullptr, 16));
+    ids.emplace_back(mask);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool ViewStore::Contains(ViewId id) const {
+  return std::filesystem::exists(PathFor(id));
+}
+
+CubeResult ViewStore::LoadCube() const {
+  CubeResult cube;
+  for (ViewId id : List()) {
+    ViewResult vr = Load(id);
+    cube.views[id] = std::move(vr);
+  }
+  return cube;
+}
+
+}  // namespace sncube

@@ -1,0 +1,55 @@
+// On-disk persistence for materialized views — the "output files" of the
+// paper's timed runs ("all times include the time taken to read the input
+// from files and write the output into files").
+//
+// Each view is one binary file `v<mask-hex>.sncv` under the store directory:
+// a fixed header (magic, format version, view mask, width, sort order) and
+// the raw row payload in the wire format of relation/serialize.h. A
+// `manifest.txt` records the schema so a store is self-describing. Per-rank
+// shard stores simply use per-rank directories.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+class ViewStore {
+ public:
+  // Opens (creating if needed) a store rooted at `dir`.
+  explicit ViewStore(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  // Writes/overwrites the schema manifest.
+  void SaveSchema(const Schema& schema) const;
+  // Reads the manifest; throws if missing or malformed.
+  Schema LoadSchema() const;
+
+  // Persists one view (fragment).
+  void Save(const ViewResult& view) const;
+  // Persists every view of a cube plus the schema manifest.
+  void SaveCube(const CubeResult& cube, const Schema& schema) const;
+
+  // Loads one view; throws when the file is missing or corrupt.
+  ViewResult Load(ViewId id) const;
+  // Loads every stored view.
+  CubeResult LoadCube() const;
+
+  // Views present on disk.
+  std::vector<ViewId> List() const;
+
+  bool Contains(ViewId id) const;
+
+ private:
+  std::filesystem::path PathFor(ViewId id) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace sncube

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace sncube {
+namespace {
+
+TEST(Status, CheckThrowsWithLocation) {
+  try {
+    SNCUBE_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const SncubeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Status, CheckPassesSilently) {
+  EXPECT_NO_THROW(SNCUBE_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.Next() == child.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(100, 0.0);
+  Rng rng(11);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 100.0, n / 100.0 * 0.35);
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double alpha : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    ZipfSampler z(64, alpha);
+    double sum = 0;
+    for (std::uint32_t k = 0; k < 64; ++k) sum += z.Probability(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnSmallKeys) {
+  ZipfSampler z(256, 2.0);
+  Rng rng(13);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) head += (z.Sample(rng) < 4);
+  // With alpha = 2 the first 4 values carry the vast majority of the mass.
+  EXPECT_GT(head, n * 3 / 4);
+}
+
+TEST(Zipf, EmpiricalMatchesTheoretical) {
+  ZipfSampler z(32, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(32, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (std::uint32_t k = 0; k < 32; ++k) {
+    const double expected = z.Probability(k) * n;
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 8.0) << "k=" << k;
+  }
+}
+
+TEST(Zipf, UniverseOneAlwaysZero) {
+  ZipfSampler z(1, 3.0);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+TEST(Env, FallbackWhenUnset) {
+  ::unsetenv("SNCUBE_TEST_KNOB");
+  EXPECT_EQ(EnvInt("SNCUBE_TEST_KNOB", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("SNCUBE_TEST_KNOB", 1.5), 1.5);
+  EXPECT_FALSE(EnvFlag("SNCUBE_TEST_KNOB"));
+}
+
+TEST(Env, ParsesValues) {
+  ::setenv("SNCUBE_TEST_KNOB", "17", 1);
+  EXPECT_EQ(EnvInt("SNCUBE_TEST_KNOB", 0), 17);
+  EXPECT_TRUE(EnvFlag("SNCUBE_TEST_KNOB"));
+  ::setenv("SNCUBE_TEST_KNOB", "2.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("SNCUBE_TEST_KNOB", 0), 2.25);
+  ::unsetenv("SNCUBE_TEST_KNOB");
+}
+
+TEST(Env, MalformedFallsBack) {
+  ::setenv("SNCUBE_TEST_KNOB", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("SNCUBE_TEST_KNOB", 9), 9);
+  ::unsetenv("SNCUBE_TEST_KNOB");
+}
+
+TEST(Env, BenchRowsScales) {
+  ::unsetenv("SNCUBE_PAPER");
+  ::setenv("SNCUBE_SCALE", "2.0", 1);
+  EXPECT_EQ(BenchRows(1000, 1000000), 2000);
+  ::setenv("SNCUBE_PAPER", "1", 1);
+  EXPECT_EQ(BenchRows(1000, 1000000), 1000000);
+  ::unsetenv("SNCUBE_PAPER");
+  ::unsetenv("SNCUBE_SCALE");
+}
+
+}  // namespace
+}  // namespace sncube

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/retail.h"
+#include "relation/aggregate.h"
+#include "relation/sort.h"
+
+namespace sncube {
+namespace {
+
+TEST(Generator, RowCountAndWidth) {
+  DatasetSpec spec;
+  spec.rows = 1234;
+  spec.cardinalities = {16, 8, 4};
+  Relation rel = GenerateDataset(spec);
+  EXPECT_EQ(rel.size(), 1234u);
+  EXPECT_EQ(rel.width(), 3);
+}
+
+TEST(Generator, KeysWithinCardinality) {
+  DatasetSpec spec;
+  spec.rows = 5000;
+  spec.cardinalities = {32, 4};
+  Relation rel = GenerateDataset(spec);
+  Schema schema = spec.MakeSchema();
+  for (std::size_t r = 0; r < rel.size(); ++r) {
+    for (int c = 0; c < rel.width(); ++c) {
+      EXPECT_LT(rel.key(r, c), schema.cardinality(c));
+    }
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  DatasetSpec spec;
+  spec.rows = 500;
+  spec.cardinalities = {16, 8};
+  spec.seed = 77;
+  EXPECT_EQ(GenerateDataset(spec), GenerateDataset(spec));
+  spec.seed = 78;
+  DatasetSpec other;
+  other.rows = 500;
+  other.cardinalities = {16, 8};
+  other.seed = 77;
+  EXPECT_FALSE(GenerateDataset(spec) == GenerateDataset(other));
+}
+
+TEST(Generator, SlicesPartitionTheDataset) {
+  DatasetSpec spec;
+  spec.rows = 1001;  // deliberately not divisible by p
+  spec.cardinalities = {16, 8};
+  const Relation whole = GenerateDataset(spec);
+  for (int p : {2, 3, 7}) {
+    Relation reassembled(2);
+    std::size_t max_slice = 0;
+    std::size_t min_slice = whole.size();
+    for (int r = 0; r < p; ++r) {
+      Relation slice = GenerateSlice(spec, p, r);
+      max_slice = std::max(max_slice, slice.size());
+      min_slice = std::min(min_slice, slice.size());
+      reassembled.Concat(std::move(slice));
+    }
+    EXPECT_EQ(reassembled, whole) << "p=" << p;
+    EXPECT_LE(max_slice - min_slice, 1u) << "p=" << p;
+  }
+}
+
+TEST(Generator, SkewFollowsSortedDimension) {
+  // Unsorted input: the 256-cardinality dim has alpha=3 and must stay
+  // skewed after the schema sorts it to the front.
+  DatasetSpec spec;
+  spec.rows = 20000;
+  spec.cardinalities = {8, 256, 16};
+  spec.alphas = {0.0, 3.0, 0.0};
+  Relation rel = GenerateDataset(spec);
+  // Column 0 is the 256-card dimension after sorting.
+  std::size_t head = 0;
+  for (std::size_t r = 0; r < rel.size(); ++r) head += (rel.key(r, 0) < 2);
+  EXPECT_GT(head, rel.size() * 3 / 5);
+  // Column 2 (the 8-card dim) stays uniform.
+  std::map<Key, int> counts;
+  for (std::size_t r = 0; r < rel.size(); ++r) counts[rel.key(r, 2)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c, 20000 / 8.0, 20000 / 8.0 * 0.3);
+  }
+}
+
+TEST(Generator, PaperDefaultShape) {
+  const auto spec = DatasetSpec::PaperDefault(100);
+  Schema schema = spec.MakeSchema();
+  EXPECT_EQ(schema.dims(), 8);
+  EXPECT_EQ(schema.cardinality(0), 256u);
+  EXPECT_EQ(schema.cardinality(7), 6u);
+  EXPECT_EQ(GenerateDataset(spec).size(), 100u);
+}
+
+TEST(Retail, GeneratesValidFacts) {
+  RetailDataset ds = GenerateRetail(5000);
+  EXPECT_EQ(ds.facts.size(), 5000u);
+  EXPECT_EQ(ds.facts.width(), ds.schema.dims());
+  EXPECT_EQ(ds.names.size(), static_cast<std::size_t>(ds.schema.dims()));
+  EXPECT_EQ(ds.schema.cardinality(0), 500u);  // product leads
+  EXPECT_EQ(ds.names[0], "product");
+  for (std::size_t r = 0; r < ds.facts.size(); ++r) {
+    EXPECT_GE(ds.facts.measure(r), 1);
+    for (int c = 0; c < ds.facts.width(); ++c) {
+      EXPECT_LT(ds.facts.key(r, c), ds.schema.cardinality(c));
+    }
+  }
+}
+
+TEST(Retail, ProductDimensionIsSkewed) {
+  RetailDataset ds = GenerateRetail(20000);
+  std::size_t head = 0;
+  for (std::size_t r = 0; r < ds.facts.size(); ++r) {
+    head += (ds.facts.key(r, 0) < 25);  // top 5% of products
+  }
+  // Zipf(1.2) concentrates far more than 5% of sales on the top products.
+  EXPECT_GT(head, ds.facts.size() / 3);
+}
+
+}  // namespace
+}  // namespace sncube

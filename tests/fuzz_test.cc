@@ -1,0 +1,147 @@
+// Randomized fuzz suites: seeded random inputs swept through the public
+// APIs with the invariants checked on every draw. Complements the
+// handcrafted unit tests (exact scenarios) and the parameterized property
+// tests (structured grids) with unstructured coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "query/engine.h"
+#include "schedule/partial.h"
+#include "schedule/pipesort.h"
+#include "seqcube/seq_cube.h"
+
+namespace sncube {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partial-cube scheduler fuzz: any random selection within a partition must
+// produce a valid tree containing every selected view.
+
+class PartialTreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialTreeFuzz, RandomSelectionsYieldValidTrees) {
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const int d = 3 + static_cast<int>(rng.Below(4));  // 3..6 dims
+  std::vector<std::uint32_t> cards;
+  for (int i = 0; i < d; ++i) {
+    cards.push_back(4u << rng.Below(5));
+  }
+  const Schema schema(cards);
+  const AnalyticEstimator est(schema, 100000);
+
+  // Random subset of the lattice (each view kept with probability ~40%),
+  // never empty.
+  std::vector<ViewId> selected;
+  for (ViewId v : AllViews(d)) {
+    if (rng.Below(10) < 4) selected.push_back(v);
+  }
+  if (selected.empty()) selected.push_back(ViewId::Full(d));
+
+  for (const auto& partition : PartitionViews(selected, d)) {
+    if (partition.empty()) continue;
+    const ViewId root = PartitionRoot(partition);
+    for (auto strategy : {PartialStrategy::kPrunedPipesort,
+                          PartialStrategy::kGreedyLattice}) {
+      const ScheduleTree tree =
+          BuildPartialTree(partition, root, root.DimList(), est, strategy);
+      tree.Validate();
+      // Every selected view present and flagged; every auxiliary flagged.
+      std::set<std::uint32_t> wanted;
+      for (ViewId v : partition) wanted.insert(v.mask());
+      int found = 0;
+      for (int i = 0; i < tree.size(); ++i) {
+        const bool is_wanted = wanted.contains(tree.node(i).view.mask());
+        EXPECT_EQ(tree.node(i).selected, is_wanted);
+        found += is_wanted ? 1 : 0;
+      }
+      EXPECT_EQ(found, static_cast<int>(partition.size()));
+      // The cost estimate is finite and positive for non-trivial trees.
+      if (tree.size() > 1) {
+        EXPECT_GT(tree.EstimatedCost(), 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialTreeFuzz, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Pipesort fuzz: the tree's estimated cost never exceeds the all-sort tree
+// for any cardinality mix, and orders stay consistent.
+
+class PipesortFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipesortFuzz, NeverWorseThanAllSort) {
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  const int d = 4 + static_cast<int>(rng.Below(4));  // 4..7 dims
+  std::vector<std::uint32_t> cards;
+  for (int i = 0; i < d; ++i) cards.push_back(2u + static_cast<std::uint32_t>(rng.Below(300)));
+  const Schema schema(cards);
+  const AnalyticEstimator est(schema, 1 + rng.Below(3000000));
+
+  const auto parts = PartitionViews(AllViews(d), d);
+  for (const auto& part : parts) {
+    const ViewId root = PartitionRoot(part);
+    const ScheduleTree tree =
+        BuildPipesortTree(part, root, root.DimList(), est);
+    tree.Validate();
+    double all_sort = 0;
+    for (int i = 1; i < tree.size(); ++i) {
+      all_sort += SortCost(tree.node(tree.node(i).parent).est_rows);
+    }
+    EXPECT_LE(tree.EstimatedCost(), all_sort + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipesortFuzz, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Query engine fuzz: random group-bys and filters against brute force.
+
+class QueryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryFuzz, RandomQueriesMatchBruteForce) {
+  Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  DatasetSpec spec;
+  spec.rows = 1500 + static_cast<std::int64_t>(rng.Below(1500));
+  spec.cardinalities = {static_cast<std::uint32_t>(4 + rng.Below(20)),
+                        static_cast<std::uint32_t>(3 + rng.Below(10)),
+                        static_cast<std::uint32_t>(2 + rng.Below(6)),
+                        static_cast<std::uint32_t>(2 + rng.Below(4))};
+  spec.alphas = {rng.NextDouble() * 2, 0, 0, 0};
+  spec.seed = 6100 + static_cast<std::uint64_t>(GetParam());
+  const Relation raw = GenerateDataset(spec);
+  const Schema schema = spec.MakeSchema();
+  const CubeResult cube = SequentialCube(raw, schema, AllViews(4));
+  const CubeQueryEngine engine(cube);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    Query q;
+    q.group_by = ViewId(static_cast<std::uint32_t>(rng.Below(16)));
+    // Random filter on a dimension outside the group-by (when possible).
+    Relation filtered(raw.width());
+    const int fdim = static_cast<int>(rng.Below(4));
+    const bool use_filter = !q.group_by.Contains(fdim) && rng.Below(2) == 0;
+    if (use_filter) {
+      const Key value = static_cast<Key>(rng.Below(schema.cardinality(fdim)));
+      q.filters = {{fdim, value}};
+      for (std::size_t r = 0; r < raw.size(); ++r) {
+        if (raw.key(r, fdim) == value) filtered.AppendRow(raw, r);
+      }
+    }
+    const Relation& source = use_filter ? filtered : raw;
+    const auto answer = engine.Execute(q);
+    EXPECT_EQ(answer.rel, BruteForceView(source, q.group_by, AggFn::kSum))
+        << "trial " << trial << " mask=" << q.group_by.mask();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sncube

@@ -1,0 +1,268 @@
+// Handcrafted Merge–Partitions scenarios: the cases of Figure 4 constructed
+// fragment by fragment, exercising the exact boundary mechanics the
+// end-to-end property tests only reach statistically.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/merge_partitions.h"
+#include "net/cluster.h"
+#include "relation/sort.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+namespace {
+
+Relation Rel(std::initializer_list<std::pair<std::vector<Key>, Measure>> rows,
+             int width) {
+  Relation rel(width);
+  for (const auto& [keys, m] : rows) rel.Append(keys, m);
+  return rel;
+}
+
+// Runs MergePartitions on per-rank single-view cubes and returns the merged
+// per-rank relations.
+std::vector<Relation> MergeOneView(std::vector<ViewResult> fragments,
+                                   const std::vector<int>& root_order,
+                                   MergeOptions opts = {},
+                                   MergeStats* stats_out = nullptr) {
+  const int p = static_cast<int>(fragments.size());
+  Cluster cluster(p);
+  std::vector<Relation> out(static_cast<std::size_t>(p));
+  std::vector<MergeStats> stats(static_cast<std::size_t>(p));
+  std::mutex mu;
+  cluster.Run([&](Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    CubeResult cube;
+    cube.views[fragments[r].id] = ViewResult{fragments[r].id,
+                                             fragments[r].order,
+                                             Relation(fragments[r].rel),
+                                             true};
+    MergeStats st;
+    MergePartitions(comm, cube, root_order, opts, &st);
+    std::lock_guard<std::mutex> lock(mu);
+    out[r] = std::move(cube.views.at(fragments[r].id).rel);
+    stats[r] = st;
+  });
+  if (stats_out != nullptr) *stats_out = stats[0];
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Case 1: prefix views.
+
+TEST(MergeCase1, AdjacentBoundaryGroupCombines) {
+  // View A (order = global prefix). Rank 0 ends with key 5; rank 1 starts
+  // with key 5: the classic one-item exchange.
+  const ViewId a = ViewId::FromDims({0});
+  std::vector<ViewResult> frags{
+      {a, {0}, Rel({{{1}, 10}, {{5}, 3}}, 1), true},
+      {a, {0}, Rel({{{5}, 4}, {{9}, 7}}, 1), true},
+  };
+  MergeStats stats;
+  auto out = MergeOneView(std::move(frags), {0, 1, 2}, {}, &stats);
+  EXPECT_EQ(stats.case1_views, 1);
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0].measure(1), 7);  // 3 + 4
+  ASSERT_EQ(out[1].size(), 1u);
+  EXPECT_EQ(out[1].key(0, 0), 9u);
+}
+
+TEST(MergeCase1, GroupSpanningManyRanks) {
+  // One giant group (key 4) spans ranks 1..4 — middle ranks hold ONLY that
+  // key; everything must collapse onto rank 0 (the leftmost holder).
+  const ViewId a = ViewId::FromDims({0});
+  std::vector<ViewResult> frags{
+      {a, {0}, Rel({{{1}, 1}, {{4}, 1}}, 1), true},
+      {a, {0}, Rel({{{4}, 2}}, 1), true},
+      {a, {0}, Rel({{{4}, 3}}, 1), true},
+      {a, {0}, Rel({{{4}, 4}}, 1), true},
+      {a, {0}, Rel({{{4}, 5}, {{6}, 9}}, 1), true},
+  };
+  auto out = MergeOneView(std::move(frags), {0, 1});
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0].measure(1), 1 + 2 + 3 + 4 + 5);
+  EXPECT_TRUE(out[1].empty());
+  EXPECT_TRUE(out[2].empty());
+  EXPECT_TRUE(out[3].empty());
+  ASSERT_EQ(out[4].size(), 1u);
+  EXPECT_EQ(out[4].key(0, 0), 6u);
+}
+
+TEST(MergeCase1, EmptyShardsInTheChain) {
+  const ViewId a = ViewId::FromDims({0});
+  std::vector<ViewResult> frags{
+      {a, {0}, Rel({{{2}, 5}}, 1), true},
+      {a, {0}, Relation(1), true},  // empty middle rank
+      {a, {0}, Rel({{{2}, 6}, {{3}, 1}}, 1), true},
+  };
+  auto out = MergeOneView(std::move(frags), {0, 1});
+  ASSERT_EQ(out[0].size(), 1u);
+  EXPECT_EQ(out[0].measure(0), 11);
+  EXPECT_TRUE(out[1].empty());
+  ASSERT_EQ(out[2].size(), 1u);
+  EXPECT_EQ(out[2].key(0, 0), 3u);
+}
+
+TEST(MergeCase1, NoBoundaryDuplicatesNoTraffic) {
+  const ViewId ab = ViewId::FromDims({0, 1});
+  std::vector<ViewResult> frags{
+      {ab, {0, 1}, Rel({{{1, 1}, 1}, {{1, 2}, 2}}, 2), true},
+      {ab, {0, 1}, Rel({{{2, 1}, 3}}, 2), true},
+  };
+  auto out = MergeOneView(std::move(frags), {0, 1, 2});
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[1].size(), 1u);
+  EXPECT_EQ(out[0].measure(0), 1);
+  EXPECT_EQ(out[1].measure(0), 3);
+}
+
+// --------------------------------------------------------------------------
+// Case 2: non-prefix views with modest overlap.
+
+TEST(MergeCase2, OverlapRoutedToOwner) {
+  // View B with order {1} while the global order starts with 0 → non-prefix.
+  // Fragments overlap around keys 4..6; balanced enough for Case 2.
+  const ViewId b = ViewId::FromDims({1});
+  std::vector<ViewResult> frags{
+      {b, {1}, Rel({{{1}, 1}, {{4}, 2}, {{6}, 3}}, 1), true},
+      {b, {1}, Rel({{{4}, 10}, {{5}, 20}, {{9}, 30}}, 1), true},
+  };
+  MergeStats stats;
+  MergeOptions opts;
+  opts.gamma = 0.8;  // keep it in Case 2 despite the small sizes
+  auto out = MergeOneView(std::move(frags), {0, 1}, opts, &stats);
+  EXPECT_EQ(stats.case2_views, 1);
+  // Rank 0 owns keys <= 6: {1:1, 4:12, 5:20, 6:3}; rank 1 owns (6, 9].
+  ASSERT_EQ(out[0].size(), 4u);
+  EXPECT_EQ(out[0].key(1, 0), 4u);
+  EXPECT_EQ(out[0].measure(1), 12);
+  EXPECT_EQ(out[0].measure(2), 20);
+  ASSERT_EQ(out[1].size(), 1u);
+  EXPECT_EQ(out[1].key(0, 0), 9u);
+  EXPECT_EQ(out[1].measure(0), 30);
+}
+
+TEST(MergeCase2, FullyCoveredRankOwnsNothing) {
+  // Rank 1's entire range sits inside rank 0's: its last key (5) is below
+  // rank 0's last key (9), so rank 1 owns nothing and ships everything.
+  const ViewId b = ViewId::FromDims({1});
+  std::vector<ViewResult> frags{
+      {b, {1}, Rel({{{1}, 1}, {{9}, 2}}, 1), true},
+      {b, {1}, Rel({{{3}, 10}, {{5}, 20}}, 1), true},
+  };
+  MergeOptions opts;
+  opts.gamma = 2.0;  // force the Case-2 path even though very imbalanced
+  auto out = MergeOneView(std::move(frags), {0, 1}, opts);
+  ASSERT_EQ(out[0].size(), 4u);
+  EXPECT_TRUE(out[1].empty());
+  EXPECT_TRUE(IsSorted(out[0], std::vector<int>{0}));
+}
+
+// --------------------------------------------------------------------------
+// Case 3: imbalanced non-prefix views re-sorted globally.
+
+TEST(MergeCase3, TriggersOnImbalanceAndRebalances) {
+  // Rank 0 holds far more of the view's key space than rank 1 would ever
+  // receive; tiny gamma forces the full re-sort.
+  const ViewId b = ViewId::FromDims({1});
+  Relation big(1);
+  for (Key k = 0; k < 40; ++k) big.Append(std::vector<Key>{k}, 1);
+  Relation small(1);
+  small.Append(std::vector<Key>{20}, 100);
+
+  std::vector<ViewResult> frags{
+      {b, {1}, std::move(big), true},
+      {b, {1}, std::move(small), true},
+  };
+  MergeStats stats;
+  MergeOptions opts;
+  opts.force_case3 = true;
+  auto out = MergeOneView(std::move(frags), {0, 1}, opts, &stats);
+  EXPECT_EQ(stats.case3_views, 1);
+
+  // All 40 distinct keys, none straddling, measure of key 20 combined.
+  Relation combined(1);
+  combined.Concat(Relation(out[0]));
+  combined.Concat(Relation(out[1]));
+  ASSERT_EQ(combined.size(), 40u);
+  for (std::size_t r = 0; r < combined.size(); ++r) {
+    EXPECT_EQ(combined.key(r, 0), static_cast<Key>(r));
+    EXPECT_EQ(combined.measure(r), combined.key(r, 0) == 20 ? 101 : 1);
+  }
+  // Balanced by the sorter's shift.
+  EXPECT_NEAR(static_cast<double>(out[0].size()),
+              static_cast<double>(out[1].size()), 2.0);
+}
+
+// --------------------------------------------------------------------------
+// Local-tree order normalization.
+
+TEST(MergeNormalization, DifferingOrdersAdoptRankZeros) {
+  // Rank 1 produced the view sorted in the opposite column order; the merge
+  // must re-sort it to rank 0's order before anything else.
+  const ViewId bc = ViewId::FromDims({1, 2});
+  Relation r0 = Rel({{{1, 2}, 5}, {{2, 1}, 6}}, 2);        // sorted by (B,C)
+  Relation r1 = Rel({{{9, 0}, 7}, {{3, 1}, 8}}, 2);        // sorted by (C,B)
+  std::vector<ViewResult> frags{
+      {bc, {1, 2}, std::move(r0), true},
+      {bc, {2, 1}, std::move(r1), true},
+  };
+  MergeStats stats;
+  MergeOptions opts;
+  opts.gamma = 2.0;
+  auto out = MergeOneView(std::move(frags), {0, 1, 2, 3}, opts, &stats);
+  EXPECT_EQ(stats.resorted_views, 1);
+  Relation combined(2);
+  combined.Concat(Relation(out[0]));
+  combined.Concat(Relation(out[1]));
+  ASSERT_EQ(combined.size(), 4u);
+  EXPECT_TRUE(IsSorted(out[0], std::vector<int>{0, 1}));
+  EXPECT_TRUE(IsSorted(out[1], std::vector<int>{0, 1}));
+}
+
+// --------------------------------------------------------------------------
+// Auxiliary views are dropped without communication.
+
+TEST(MergeAux, AuxViewsErased) {
+  const ViewId a = ViewId::FromDims({0});
+  const ViewId ab = ViewId::FromDims({0, 1});
+  const int p = 2;
+  Cluster cluster(p);
+  std::vector<std::size_t> counts(p, 99);
+  cluster.Run([&](Comm& comm) {
+    CubeResult cube;
+    cube.views[a] = ViewResult{a, {0}, Rel({{{1}, 1}}, 1), true};
+    cube.views[ab] = ViewResult{ab, {0, 1}, Rel({{{1, 1}, 1}}, 2), false};
+    MergePartitions(comm, cube, {0, 1}, {});
+    counts[static_cast<std::size_t>(comm.rank())] = cube.views.size();
+  });
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(MergeStatsAccounting, SumsToViewCount) {
+  const ViewId b = ViewId::FromDims({1});
+  const ViewId a = ViewId::FromDims({0});
+  const int p = 3;
+  Cluster cluster(p);
+  std::vector<MergeStats> stats(p);
+  cluster.Run([&](Comm& comm) {
+    CubeResult cube;
+    const Key base = static_cast<Key>(comm.rank() * 10);
+    cube.views[a] =
+        ViewResult{a, {0}, Rel({{{base}, 1}, {{base + 5}, 1}}, 1), true};
+    cube.views[b] =
+        ViewResult{b, {1}, Rel({{{base}, 1}, {{base + 5}, 1}}, 1), true};
+    MergeStats st;
+    MergePartitions(comm, cube, {0, 1}, {}, &st);
+    stats[static_cast<std::size_t>(comm.rank())] = st;
+  });
+  EXPECT_EQ(stats[0].case1_views + stats[0].case2_views +
+                stats[0].case3_views,
+            2);
+  EXPECT_EQ(stats[0].case1_views, 1);  // view A is the prefix view
+}
+
+}  // namespace
+}  // namespace sncube

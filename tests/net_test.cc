@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/wire.h"
+
+namespace sncube {
+namespace {
+
+ByteBuffer Bytes(std::initializer_list<int> vals) {
+  ByteBuffer b;
+  for (int v : vals) WirePut(b, v);
+  return b;
+}
+
+std::vector<int> Ints(const ByteBuffer& b) {
+  std::vector<int> out;
+  WireReader r(b);
+  while (!r.AtEnd()) out.push_back(r.Get<int>());
+  return out;
+}
+
+TEST(Wire, ScalarAndVectorRoundTrip) {
+  ByteBuffer b;
+  WirePut(b, 42);
+  WirePut(b, 3.5);
+  WirePutVector(b, std::vector<std::uint32_t>{7, 8, 9});
+  WireReader r(b);
+  EXPECT_EQ(r.Get<int>(), 42);
+  EXPECT_DOUBLE_EQ(r.Get<double>(), 3.5);
+  EXPECT_EQ(r.GetVector<std::uint32_t>(), (std::vector<std::uint32_t>{7, 8, 9}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Wire, UnderrunThrows) {
+  ByteBuffer b;
+  WirePut(b, std::uint16_t{1});
+  WireReader r(b);
+  EXPECT_THROW(r.Get<std::uint64_t>(), SncubeError);
+}
+
+TEST(Cluster, AllToAllvDeliversBySource) {
+  for (int p : {1, 2, 3, 8}) {
+    Cluster cluster(p);
+    std::vector<std::vector<std::vector<int>>> received(p);
+    std::mutex mu;
+    cluster.Run([&](Comm& comm) {
+      std::vector<ByteBuffer> send(comm.size());
+      for (int dst = 0; dst < comm.size(); ++dst) {
+        send[dst] = Bytes({comm.rank() * 100 + dst});
+      }
+      auto recv = comm.AllToAllv(std::move(send));
+      std::vector<std::vector<int>> mine;
+      for (auto& buf : recv) mine.push_back(Ints(buf));
+      std::lock_guard<std::mutex> lock(mu);
+      received[comm.rank()] = std::move(mine);
+    });
+    for (int r = 0; r < p; ++r) {
+      for (int src = 0; src < p; ++src) {
+        ASSERT_EQ(received[r][src].size(), 1u);
+        EXPECT_EQ(received[r][src][0], src * 100 + r);
+      }
+    }
+  }
+}
+
+TEST(Cluster, AllToAllvEmptyBuffersOk) {
+  Cluster cluster(4);
+  cluster.Run([&](Comm& comm) {
+    std::vector<ByteBuffer> send(comm.size());  // all empty
+    auto recv = comm.AllToAllv(std::move(send));
+    for (const auto& b : recv) EXPECT_TRUE(b.empty());
+  });
+}
+
+TEST(Cluster, BroadcastFromEveryRoot) {
+  const int p = 5;
+  Cluster cluster(p);
+  cluster.Run([&](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      ByteBuffer msg;
+      if (comm.rank() == root) msg = Bytes({root * 7});
+      ByteBuffer got = comm.Broadcast(root, std::move(msg));
+      ASSERT_EQ(Ints(got).size(), 1u);
+      EXPECT_EQ(Ints(got)[0], root * 7);
+    }
+  });
+}
+
+TEST(Cluster, GatherCollectsAtRoot) {
+  const int p = 4;
+  Cluster cluster(p);
+  cluster.Run([&](Comm& comm) {
+    auto got = comm.Gather(2, Bytes({comm.rank()}));
+    if (comm.rank() == 2) {
+      ASSERT_EQ(static_cast<int>(got.size()), p);
+      for (int src = 0; src < p; ++src) EXPECT_EQ(Ints(got[src])[0], src);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST(Cluster, AllGatherEveryoneSeesAll) {
+  const int p = 3;
+  Cluster cluster(p);
+  cluster.Run([&](Comm& comm) {
+    auto got = comm.AllGather(Bytes({comm.rank() + 10}));
+    ASSERT_EQ(static_cast<int>(got.size()), p);
+    for (int src = 0; src < p; ++src) EXPECT_EQ(Ints(got[src])[0], src + 10);
+  });
+}
+
+TEST(Cluster, Reductions) {
+  Cluster cluster(6);
+  cluster.Run([&](Comm& comm) {
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    EXPECT_EQ(comm.AllReduceSum(r), 0u + 1 + 2 + 3 + 4 + 5);
+    EXPECT_EQ(comm.AllReduceMax(r * 3), 15u);
+    EXPECT_DOUBLE_EQ(comm.AllReduceMax(static_cast<double>(comm.rank()) - 2.5),
+                     2.5);
+  });
+}
+
+TEST(Cluster, SimClockTakesMaxOverRanks) {
+  Cluster cluster(4);
+  cluster.Run([&](Comm& comm) {
+    // Rank r does r seconds of CPU work; after the barrier the clock is the
+    // slowest rank's plus the barrier latency.
+    comm.ChargeCpu(static_cast<double>(comm.rank()));
+    comm.Barrier();
+    EXPECT_GE(comm.LocalTime(), 3.0);
+  });
+  EXPECT_GE(cluster.SimTimeSeconds(), 3.0);
+  EXPECT_LT(cluster.SimTimeSeconds(), 3.1);
+}
+
+TEST(Cluster, CommTimeScalesWithBytes) {
+  CostParams cost;
+  cost.net_latency_s = 0;
+  cost.net_byte_s = 1e-6;
+  Cluster small(2, cost);
+  small.Run([&](Comm& comm) {
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(1000);
+    comm.AllToAllv(std::move(send));
+  });
+  // h = 1000 bytes → 1e-3 seconds.
+  EXPECT_NEAR(small.SimTimeSeconds(), 1e-3, 1e-6);
+
+  Cluster big(2, cost);
+  big.Run([&](Comm& comm) {
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(10000);
+    comm.AllToAllv(std::move(send));
+  });
+  EXPECT_NEAR(big.SimTimeSeconds(), 1e-2, 1e-5);
+}
+
+TEST(Cluster, SelfDeliveryIsFree) {
+  CostParams cost;
+  cost.net_latency_s = 0;
+  cost.net_byte_s = 1.0;
+  Cluster cluster(2, cost);
+  cluster.Run([&](Comm& comm) {
+    std::vector<ByteBuffer> send(2);
+    send[comm.rank()] = ByteBuffer(1 << 20);  // to self only
+    auto recv = comm.AllToAllv(std::move(send));
+    EXPECT_EQ(recv[comm.rank()].size(), 1u << 20);
+  });
+  EXPECT_DOUBLE_EQ(cluster.SimTimeSeconds(), 0.0);
+  EXPECT_EQ(cluster.BytesSent(), 0u);
+}
+
+TEST(Cluster, DiskBlocksFoldIntoClockAtSync) {
+  CostParams cost;
+  cost.net_latency_s = 0;
+  cost.disk_block_s = 0.5;
+  Cluster cluster(2, cost);
+  cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.disk().ChargeRead(comm.disk().params().block_bytes * 4);  // 4 blocks
+    }
+    comm.Barrier();
+    EXPECT_DOUBLE_EQ(comm.LocalTime(), 2.0);  // both ranks synced to max
+  });
+}
+
+TEST(Cluster, MetricsAttributedToPhases) {
+  Cluster cluster(2);
+  cluster.Run([&](Comm& comm) {
+    comm.SetPhase("alpha");
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(100);
+    comm.AllToAllv(std::move(send));
+    comm.SetPhase("beta");
+    std::vector<ByteBuffer> send2(2);
+    send2[1 - comm.rank()] = ByteBuffer(7);
+    comm.AllToAllv(std::move(send2));
+  });
+  EXPECT_EQ(cluster.BytesSent("alpha"), 200u);
+  EXPECT_EQ(cluster.BytesSent("beta"), 14u);
+  EXPECT_EQ(cluster.BytesSent(), 214u);
+  const auto& stats = cluster.stats()[0];
+  EXPECT_EQ(stats.phases.at("alpha").messages, 1u);
+  EXPECT_GT(stats.phases.at("alpha").net_s, 0.0);
+}
+
+TEST(Cluster, ChargeSortRecordsUsesNLogN) {
+  CostParams cost;
+  cost.cpu_sort_record_s = 1.0;
+  Cluster cluster(1, cost);
+  cluster.Run([&](Comm& comm) {
+    comm.ChargeSortRecords(8);  // 8 * log2(8) = 24
+    EXPECT_DOUBLE_EQ(comm.LocalTime(), 24.0);
+    comm.ChargeSortRecords(1);  // no-op
+    EXPECT_DOUBLE_EQ(comm.LocalTime(), 24.0);
+  });
+}
+
+TEST(Cluster, RankExceptionPropagates) {
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 1) throw SncubeError("rank 1 exploded");
+    // Other ranks proceed through a collective without deadlocking.
+    comm.AllReduceSum(1);
+  }),
+               SncubeError);
+}
+
+TEST(Cluster, RunTwiceAccumulatesStats) {
+  Cluster cluster(2);
+  auto program = [&](Comm& comm) {
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(50);
+    comm.AllToAllv(std::move(send));
+  };
+  cluster.Run(program);
+  cluster.Run(program);
+  EXPECT_EQ(cluster.BytesSent(), 200u);
+  cluster.ResetStats();
+  EXPECT_EQ(cluster.BytesSent(), 0u);
+}
+
+TEST(Cluster, DeterministicSimTime) {
+  auto run_once = [] {
+    Cluster cluster(8);
+    cluster.Run([&](Comm& comm) {
+      comm.ChargeScanRecords(1000 * (comm.rank() + 1));
+      std::vector<ByteBuffer> send(comm.size());
+      for (int dst = 0; dst < comm.size(); ++dst) {
+        send[dst] = ByteBuffer(static_cast<std::size_t>(100 * (dst + 1)));
+      }
+      comm.AllToAllv(std::move(send));
+      comm.Barrier();
+    });
+    return cluster.SimTimeSeconds();
+  };
+  const double t1 = run_once();
+  const double t2 = run_once();
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Wire, GetBytesAdvancesAndBoundsChecks) {
+  ByteBuffer b;
+  WirePut(b, std::uint32_t{0xAABBCCDD});
+  WirePut(b, std::uint8_t{7});
+  WireReader r(b);
+  const auto view = r.GetBytes(4);
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(r.Get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.AtEnd());
+  WireReader r2(b);
+  EXPECT_THROW(r2.GetBytes(6), SncubeError);
+}
+
+TEST(Cluster, BroadcastLargePayload) {
+  Cluster cluster(4);
+  cluster.Run([&](Comm& comm) {
+    ByteBuffer msg;
+    if (comm.rank() == 2) msg.assign(1 << 20, std::byte{0x5A});
+    const ByteBuffer got = comm.Broadcast(2, std::move(msg));
+    ASSERT_EQ(got.size(), 1u << 20);
+    EXPECT_EQ(got.front(), std::byte{0x5A});
+    EXPECT_EQ(got.back(), std::byte{0x5A});
+  });
+}
+
+TEST(Cluster, GatherEmptyContributions) {
+  Cluster cluster(3);
+  cluster.Run([&](Comm& comm) {
+    const auto got = comm.Gather(0, ByteBuffer{});
+    if (comm.rank() == 0) {
+      ASSERT_EQ(got.size(), 3u);
+      for (const auto& b : got) EXPECT_TRUE(b.empty());
+    }
+  });
+}
+
+TEST(Cluster, InterleavedCollectiveKinds) {
+  // Mixed collective sequence exercises board reuse across kinds.
+  Cluster cluster(4);
+  cluster.Run([&](Comm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      const auto sum =
+          comm.AllReduceSum(static_cast<std::uint64_t>(comm.rank() + round));
+      EXPECT_EQ(sum, static_cast<std::uint64_t>(6 + 4 * round));
+      ByteBuffer msg;
+      if (comm.rank() == round % 4) WirePut(msg, round);
+      const ByteBuffer got = comm.Broadcast(round % 4, std::move(msg));
+      EXPECT_EQ(WireReader(got).Get<int>(), round);
+      std::vector<ByteBuffer> send(comm.size());
+      WirePut(send[(comm.rank() + 1) % comm.size()], comm.rank());
+      auto recv = comm.AllToAllv(std::move(send));
+      const int left = (comm.rank() + comm.size() - 1) % comm.size();
+      EXPECT_EQ(WireReader(recv[left]).Get<int>(), left);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sncube

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "query/engine.h"
+#include "query/greedy_select.h"
+#include "seqcube/seq_cube.h"
+
+namespace sncube {
+namespace {
+
+struct QueryFixture : ::testing::Test {
+  void SetUp() override {
+    spec.rows = 4000;
+    spec.cardinalities = {20, 10, 5, 3};
+    spec.seed = 9;
+    raw = GenerateDataset(spec);
+    schema = spec.MakeSchema();
+    cube = SequentialCube(raw, schema, AllViews(4));
+  }
+
+  DatasetSpec spec;
+  Relation raw;
+  Schema schema;
+  CubeResult cube;
+};
+
+TEST_F(QueryFixture, RoutesToExactViewWhenMaterialized) {
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({1, 3});
+  EXPECT_EQ(engine.Route(q), ViewId::FromDims({1, 3}));
+}
+
+TEST_F(QueryFixture, GroupByMatchesBruteForce) {
+  CubeQueryEngine engine(cube);
+  for (ViewId v : AllViews(4)) {
+    Query q;
+    q.group_by = v;
+    const auto answer = engine.Execute(q);
+    EXPECT_EQ(answer.rel, BruteForceView(raw, v, AggFn::kSum))
+        << "view mask=" << v.mask();
+  }
+}
+
+TEST_F(QueryFixture, FilterRoutesToCoveringView) {
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({1});
+  q.filters = {{.dim = 0, .value = 3}};
+  const ViewId routed = engine.Route(q);
+  EXPECT_TRUE(ViewId::FromDims({0, 1}).IsSubsetOf(routed));
+
+  const auto answer = engine.Execute(q);
+  // Brute force: filter raw rows on D0 == 3, then group by D1.
+  Relation filtered(raw.width());
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    if (raw.key(r, 0) == 3) filtered.AppendRow(raw, r);
+  }
+  EXPECT_EQ(answer.rel,
+            BruteForceView(filtered, ViewId::FromDims({1}), AggFn::kSum));
+}
+
+TEST_F(QueryFixture, PartialCubeFallsBackToAncestor) {
+  const std::vector<ViewId> selected{ViewId::Full(4),
+                                     ViewId::FromDims({0, 1})};
+  const CubeResult partial = SequentialCube(raw, schema, selected);
+  CubeQueryEngine engine(partial);
+  Query q;
+  q.group_by = ViewId::FromDims({1});
+  // D1 alone is not materialized; the smallest cover is AB.
+  EXPECT_EQ(engine.Route(q), ViewId::FromDims({0, 1}));
+  const auto answer = engine.Execute(q);
+  EXPECT_EQ(answer.rel,
+            BruteForceView(raw, ViewId::FromDims({1}), AggFn::kSum));
+}
+
+TEST_F(QueryFixture, ThrowsWhenNothingCovers) {
+  const std::vector<ViewId> selected{ViewId::FromDims({0, 1})};
+  const CubeResult partial = SequentialCube(raw, schema, selected);
+  CubeQueryEngine engine(partial);
+  Query q;
+  q.group_by = ViewId::FromDims({3});
+  EXPECT_THROW(engine.Route(q), SncubeError);
+}
+
+TEST_F(QueryFixture, EmptyGroupByGivesGrandTotal) {
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::Empty();
+  const auto answer = engine.Execute(q);
+  ASSERT_EQ(answer.rel.size(), 1u);
+  EXPECT_EQ(answer.rel.measure(0), static_cast<Measure>(spec.rows));
+}
+
+TEST_F(QueryFixture, TopKReturnsLargestGroups) {
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({0});
+  q.top_k = 3;
+  const auto top = engine.Execute(q);
+  ASSERT_EQ(top.rel.size(), 3u);
+  // Descending measures.
+  EXPECT_GE(top.rel.measure(0), top.rel.measure(1));
+  EXPECT_GE(top.rel.measure(1), top.rel.measure(2));
+  // The top measure equals the true maximum over all groups.
+  q.top_k = 0;
+  const auto all = engine.Execute(q);
+  Measure best = all.rel.measure(0);
+  for (std::size_t r = 1; r < all.rel.size(); ++r) {
+    best = std::max(best, all.rel.measure(r));
+  }
+  EXPECT_EQ(top.rel.measure(0), best);
+}
+
+TEST_F(QueryFixture, TopKLargerThanGroupsReturnsAll) {
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({3});  // 3 distinct values
+  q.top_k = 100;
+  EXPECT_EQ(engine.Execute(q).rel.size(), 3u);
+}
+
+TEST(GreedySelect, AlwaysIncludesFullView) {
+  Schema schema({16, 8, 4});
+  AnalyticEstimator est(schema, 10000);
+  const auto selected = GreedySelectViews(3, 1, est);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], ViewId::Full(3));
+}
+
+TEST(GreedySelect, PicksHighBenefitViewsFirst) {
+  // A dense cube: small views save the most per query and get picked early.
+  Schema schema({100, 100, 100});
+  AnalyticEstimator est(schema, 1000000);
+  const auto selected = GreedySelectViews(3, 4, est);
+  ASSERT_EQ(selected.size(), 4u);
+  // After the full view, greedy picks 2-dim views (each ~10k rows vs the
+  // ~630k of the full view, each covering 4 sub-views).
+  for (std::size_t i = 1; i < selected.size(); ++i) {
+    EXPECT_EQ(selected[i].dim_count(), 2) << "pick " << i;
+  }
+}
+
+TEST(GreedySelect, CountAndUniqueness) {
+  Schema schema({64, 32, 16, 8, 4});
+  AnalyticEstimator est(schema, 500000);
+  const auto selected = GreedySelectViews(5, 20, est);
+  EXPECT_EQ(selected.size(), 20u);
+  std::vector<std::uint32_t> masks;
+  for (ViewId v : selected) masks.push_back(v.mask());
+  std::sort(masks.begin(), masks.end());
+  EXPECT_EQ(std::unique(masks.begin(), masks.end()), masks.end());
+}
+
+TEST(GreedySelect, FractionRounds) {
+  Schema schema({16, 8, 4});
+  AnalyticEstimator est(schema, 10000);
+  EXPECT_EQ(GreedySelectFraction(3, 0.5, est).size(), 4u);
+  EXPECT_EQ(GreedySelectFraction(3, 1.0, est).size(), 8u);
+  EXPECT_EQ(GreedySelectFraction(3, 0.01, est).size(), 1u);
+}
+
+TEST(GreedySelect, BenefitNeverBelowMaterializingEverything) {
+  // Selecting all views must drive every query cost to its own size.
+  Schema schema({8, 4});
+  AnalyticEstimator est(schema, 1000);
+  const auto selected = GreedySelectViews(2, 4, est);
+  EXPECT_EQ(selected.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sncube

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "seqcube/seq_cube.h"
+#include "seqcube/view_store.h"
+
+namespace sncube {
+namespace {
+
+class ViewStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sncube_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+ViewResult MakeView(ViewId id, std::vector<int> order, int rows) {
+  ViewResult vr;
+  vr.id = id;
+  vr.order = std::move(order);
+  vr.rel = Relation(id.dim_count());
+  std::vector<Key> keys(static_cast<std::size_t>(id.dim_count()));
+  for (int r = 0; r < rows; ++r) {
+    for (auto& k : keys) k = static_cast<Key>(r);
+    vr.rel.Append(keys, r * 7);
+  }
+  return vr;
+}
+
+TEST_F(ViewStoreTest, SaveLoadRoundTrip) {
+  ViewStore store(dir_);
+  const ViewResult original = MakeView(ViewId::FromDims({0, 2}), {2, 0}, 50);
+  store.Save(original);
+  ASSERT_TRUE(store.Contains(original.id));
+  const ViewResult back = store.Load(original.id);
+  EXPECT_EQ(back.id, original.id);
+  EXPECT_EQ(back.order, original.order);
+  EXPECT_EQ(back.rel, original.rel);
+}
+
+TEST_F(ViewStoreTest, SchemaManifestRoundTrip) {
+  ViewStore store(dir_);
+  const Schema schema({100, 50, 2}, {"alpha", "beta", "gamma"});
+  store.SaveSchema(schema);
+  const Schema back = store.LoadSchema();
+  ASSERT_EQ(back.dims(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.cardinality(i), schema.cardinality(i));
+    EXPECT_EQ(back.name(i), schema.name(i));
+  }
+}
+
+TEST_F(ViewStoreTest, ListAndLoadCube) {
+  DatasetSpec spec;
+  spec.rows = 1000;
+  spec.cardinalities = {8, 4, 2};
+  const Relation raw = GenerateDataset(spec);
+  const Schema schema = spec.MakeSchema();
+  const CubeResult cube = SequentialCube(raw, schema, AllViews(3));
+
+  ViewStore store(dir_);
+  store.SaveCube(cube, schema);
+  EXPECT_EQ(store.List().size(), 8u);
+
+  const CubeResult back = store.LoadCube();
+  ASSERT_EQ(back.views.size(), cube.views.size());
+  for (const auto& [id, vr] : cube.views) {
+    const auto it = back.views.find(id);
+    ASSERT_NE(it, back.views.end());
+    EXPECT_EQ(it->second.rel, vr.rel);
+    EXPECT_EQ(it->second.order, vr.order);
+  }
+}
+
+TEST_F(ViewStoreTest, AuxViewsNotPersisted) {
+  ViewStore store(dir_);
+  CubeResult cube;
+  ViewResult selected = MakeView(ViewId::FromDims({0}), {0}, 3);
+  ViewResult aux = MakeView(ViewId::FromDims({1}), {1}, 3);
+  aux.selected = false;
+  cube.views[selected.id] = std::move(selected);
+  cube.views[aux.id] = std::move(aux);
+  store.SaveCube(cube, Schema({4, 2}));
+  EXPECT_EQ(store.List().size(), 1u);
+  EXPECT_FALSE(store.Contains(ViewId::FromDims({1})));
+}
+
+TEST_F(ViewStoreTest, OverwriteReplacesContent) {
+  ViewStore store(dir_);
+  store.Save(MakeView(ViewId::FromDims({0}), {0}, 10));
+  store.Save(MakeView(ViewId::FromDims({0}), {0}, 3));
+  EXPECT_EQ(store.Load(ViewId::FromDims({0})).rel.size(), 3u);
+}
+
+TEST_F(ViewStoreTest, MissingViewThrows) {
+  ViewStore store(dir_);
+  EXPECT_THROW(store.Load(ViewId::FromDims({0})), SncubeError);
+  EXPECT_THROW(store.LoadSchema(), SncubeError);
+}
+
+TEST_F(ViewStoreTest, CorruptFileRejected) {
+  ViewStore store(dir_);
+  const ViewId id = ViewId::FromDims({0, 1});
+  store.Save(MakeView(id, {0, 1}, 5));
+  // Truncate the file.
+  const auto path = dir_ / "v00003.sncv";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, 10);
+  EXPECT_THROW(store.Load(id), SncubeError);
+}
+
+TEST_F(ViewStoreTest, EmptyViewPersists) {
+  ViewStore store(dir_);
+  store.Save(MakeView(ViewId::Empty(), {}, 0));
+  const ViewResult back = store.Load(ViewId::Empty());
+  EXPECT_EQ(back.rel.size(), 0u);
+  EXPECT_EQ(back.rel.width(), 0);
+}
+
+}  // namespace
+}  // namespace sncube

@@ -1,0 +1,294 @@
+// sncube — command-line front end for the library.
+//
+//   sncube generate --rows N --cards 256,128,64 [--alphas 1.0,0,0]
+//                   [--seed S] --out facts.csv
+//   sncube build    --in facts.csv --out cubedir [--procs P]
+//                   [--views N | --fraction F] [--gamma G] [--local-trees]
+//   sncube info     --cube cubedir
+//   sncube query    --cube cubedir --group-by D0,D2 [--where D1=3]
+//                   [--min|--max] [--top K]
+//
+// `build` runs the paper's parallel shared-nothing algorithm on a simulated
+// cluster of P virtual processors (default 1 = plain sequential Pipesort)
+// and persists every selected view into the cube directory, which `query`
+// then serves with lattice routing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/parallel_cube.h"
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "net/cluster.h"
+#include "query/engine.h"
+#include "query/greedy_select.h"
+#include "relation/csv.h"
+#include "seqcube/seq_cube.h"
+#include "seqcube/view_store.h"
+
+using namespace sncube;
+
+namespace {
+
+[[noreturn]] void Usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sncube generate --rows N --cards C0,C1,... [--alphas A0,...]"
+               " [--seed S] --out facts.csv\n"
+               "  sncube build --in facts.csv --out cubedir [--procs P]"
+               " [--views N | --fraction F] [--gamma G] [--local-trees]\n"
+               "  sncube info --cube cubedir\n"
+               "  sncube query --cube cubedir --group-by D0,D2"
+               " [--where D1=3] [--min|--max] [--top K]\n");
+  std::exit(2);
+}
+
+// Minimal flag parser: --name value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, const std::vector<std::string>& switches) {
+    for (int i = 0; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) Usage(("unexpected argument: " + a).c_str());
+      a = a.substr(2);
+      if (std::find(switches.begin(), switches.end(), a) != switches.end()) {
+        values_[a] = "1";
+      } else {
+        if (i + 1 >= argc) Usage(("missing value for --" + a).c_str());
+        values_[a] = argv[++i];
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string Require(const std::string& name) const {
+    const auto v = Get(name);
+    if (!v) Usage(("--" + name + " is required").c_str());
+    return *v;
+  }
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) parts.push_back(part);
+  return parts;
+}
+
+int DimIndexByName(const Schema& schema, const std::string& name) {
+  for (int i = 0; i < schema.dims(); ++i) {
+    if (schema.name(i) == name) return i;
+  }
+  Usage(("unknown dimension: " + name).c_str());
+}
+
+int CmdGenerate(const Args& args) {
+  DatasetSpec spec;
+  spec.rows = std::atoll(args.Require("rows").c_str());
+  for (const auto& c : SplitCommas(args.Require("cards"))) {
+    spec.cardinalities.push_back(static_cast<std::uint32_t>(std::stoul(c)));
+  }
+  if (const auto alphas = args.Get("alphas")) {
+    for (const auto& a : SplitCommas(*alphas)) spec.alphas.push_back(std::stod(a));
+  }
+  spec.seed = static_cast<std::uint64_t>(
+      std::atoll(args.Get("seed").value_or("42").c_str()));
+
+  const Relation rel = GenerateDataset(spec);
+  const Schema schema = spec.MakeSchema();
+  std::vector<std::string> names;
+  for (int i = 0; i < schema.dims(); ++i) names.push_back(schema.name(i));
+
+  const std::string out = args.Require("out");
+  std::ofstream os(out);
+  if (!os.good()) Usage(("cannot write " + out).c_str());
+  WriteCsv(os, rel, names);
+  std::printf("wrote %zu rows x %d dims to %s\n", rel.size(), rel.width(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  const std::string in = args.Require("in");
+  std::ifstream is(in);
+  if (!is.good()) Usage(("cannot read " + in).c_str());
+  const Relation raw = ReadCsv(is);
+  if (raw.empty()) Usage("input has no rows");
+
+  // Infer cardinalities from the data (max code + 1 per column).
+  std::vector<std::uint32_t> cards(static_cast<std::size_t>(raw.width()), 1);
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    for (int c = 0; c < raw.width(); ++c) {
+      cards[static_cast<std::size_t>(c)] =
+          std::max(cards[static_cast<std::size_t>(c)], raw.key(r, c) + 1);
+    }
+  }
+  const Schema schema(cards);
+  const int d = schema.dims();
+
+  // View selection.
+  const AnalyticEstimator est(schema, static_cast<double>(raw.size()));
+  std::vector<ViewId> selected;
+  if (const auto count = args.Get("views")) {
+    selected = GreedySelectViews(d, std::atoi(count->c_str()), est);
+  } else if (const auto fraction = args.Get("fraction")) {
+    selected = GreedySelectFraction(d, std::stod(*fraction), est);
+  } else {
+    selected = AllViews(d);
+  }
+
+  const int p = std::atoi(args.Get("procs").value_or("1").c_str());
+  if (p < 1) Usage("--procs must be >= 1");
+  ParallelCubeOptions opts;
+  if (const auto gamma = args.Get("gamma")) opts.gamma_merge = std::stod(*gamma);
+  if (args.Has("local-trees")) {
+    opts.tree_mode = TreeMode::kLocal;
+    opts.estimator = EstimatorKind::kFm;
+  }
+
+  const std::string out = args.Require("out");
+  WallTimer timer;
+  std::uint64_t rows_total = 0;
+  if (p == 1) {
+    const CubeResult cube = SequentialCube(raw, schema, selected);
+    ViewStore store(out);
+    // Drop auxiliaries when persisting.
+    store.SaveCube(cube, schema);
+    rows_total = cube.TotalRows();
+  } else {
+    // Simulated shared-nothing build; rank r persists into out/rank<r>/ and
+    // rank shards are merged into one store afterwards for querying.
+    Cluster cluster(p);
+    std::vector<CubeResult> shards(p);
+    std::mutex mu;
+    cluster.Run([&](Comm& comm) {
+      // Deal rows round-robin to ranks (the paper's "distributed
+      // arbitrarily" input).
+      Relation slice(raw.width());
+      for (std::size_t r = comm.rank(); r < raw.size();
+           r += static_cast<std::size_t>(comm.size())) {
+        slice.AppendRow(raw, r);
+      }
+      CubeResult cube = BuildParallelCube(comm, slice, schema, selected, opts);
+      std::lock_guard<std::mutex> lock(mu);
+      shards[comm.rank()] = std::move(cube);
+    });
+    std::printf("simulated %d-processor build: %.2f s simulated parallel "
+                "time, %.1f MB communicated\n",
+                p, cluster.SimTimeSeconds(),
+                cluster.BytesSent() / 1048576.0);
+    // Concatenate shards per view (shards are globally sorted by rank).
+    CubeResult merged;
+    for (ViewId v : selected) {
+      ViewResult vr;
+      vr.id = v;
+      vr.order = shards[0].views.at(v).order;
+      vr.rel = Relation(v.dim_count());
+      for (auto& shard : shards) {
+        vr.rel.Concat(std::move(shard.views.at(v).rel));
+      }
+      merged.views[v] = std::move(vr);
+    }
+    ViewStore store(out);
+    store.SaveCube(merged, schema);
+    rows_total = merged.TotalRows();
+  }
+  std::printf("built %zu views (%llu rows) into %s in %.2f s\n",
+              selected.size(), static_cast<unsigned long long>(rows_total),
+              out.c_str(), timer.Seconds());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const ViewStore store(args.Require("cube"));
+  const Schema schema = store.LoadSchema();
+  std::printf("schema:");
+  for (int i = 0; i < schema.dims(); ++i) {
+    std::printf(" %s(%u)", schema.name(i).c_str(), schema.cardinality(i));
+  }
+  std::printf("\nviews:\n");
+  std::uint64_t rows = 0;
+  for (ViewId id : store.List()) {
+    const ViewResult vr = store.Load(id);
+    std::printf("  %-12s %10zu rows\n", id.Name(schema).c_str(),
+                vr.rel.size());
+    rows += vr.rel.size();
+  }
+  std::printf("total: %llu rows\n", static_cast<unsigned long long>(rows));
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  const ViewStore store(args.Require("cube"));
+  const Schema schema = store.LoadSchema();
+  const CubeResult cube = store.LoadCube();
+  const CubeQueryEngine engine(cube);
+
+  Query q;
+  std::vector<int> dims;
+  for (const auto& name : SplitCommas(args.Require("group-by"))) {
+    dims.push_back(DimIndexByName(schema, name));
+  }
+  q.group_by = ViewId::FromDims(dims);
+  if (const auto where = args.Get("where")) {
+    for (const auto& clause : SplitCommas(*where)) {
+      const auto eq = clause.find('=');
+      if (eq == std::string::npos) Usage("--where expects name=value");
+      q.filters.push_back(
+          {DimIndexByName(schema, clause.substr(0, eq)),
+           static_cast<Key>(std::stoul(clause.substr(eq + 1)))});
+    }
+  }
+  if (args.Has("min")) q.fn = AggFn::kMin;
+  if (args.Has("max")) q.fn = AggFn::kMax;
+  if (const auto top = args.Get("top")) q.top_k = std::atoi(top->c_str());
+
+  const QueryAnswer answer = engine.Execute(q);
+  std::printf("-- answered from view %s (%llu rows scanned)\n",
+              answer.answered_from.Name(schema).c_str(),
+              static_cast<unsigned long long>(answer.rows_scanned));
+  for (int i : q.group_by.DimList()) std::printf("%s,", schema.name(i).c_str());
+  std::printf("measure\n");
+  for (std::size_t r = 0; r < answer.rel.size(); ++r) {
+    for (Key k : answer.rel.RowKeys(r)) std::printf("%u,", k);
+    std::printf("%lld\n", static_cast<long long>(answer.rel.measure(r)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc - 2, argv + 2,
+                    {"local-trees", "min", "max"});
+    if (cmd == "generate") return CmdGenerate(args);
+    if (cmd == "build") return CmdBuild(args);
+    if (cmd == "info") return CmdInfo(args);
+    if (cmd == "query") return CmdQuery(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  Usage(("unknown command: " + cmd).c_str());
+}
