@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_cases.dir/ablation_merge_cases.cc.o"
+  "CMakeFiles/ablation_merge_cases.dir/ablation_merge_cases.cc.o.d"
+  "ablation_merge_cases"
+  "ablation_merge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_onedim.dir/ablation_onedim.cc.o"
+  "CMakeFiles/ablation_onedim.dir/ablation_onedim.cc.o.d"
+  "ablation_onedim"
+  "ablation_onedim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onedim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workpart.dir/ablation_workpart.cc.o"
+  "CMakeFiles/ablation_workpart.dir/ablation_workpart.cc.o.d"
+  "ablation_workpart"
+  "ablation_workpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_partial.dir/fig06_partial.cc.o"
+  "CMakeFiles/fig06_partial.dir/fig06_partial.cc.o.d"
+  "fig06_partial"
+  "fig06_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

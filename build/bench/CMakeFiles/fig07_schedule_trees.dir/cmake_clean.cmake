@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_schedule_trees.dir/fig07_schedule_trees.cc.o"
+  "CMakeFiles/fig07_schedule_trees.dir/fig07_schedule_trees.cc.o.d"
+  "fig07_schedule_trees"
+  "fig07_schedule_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_schedule_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_skew.dir/fig08_skew.cc.o"
+  "CMakeFiles/fig08_skew.dir/fig08_skew.cc.o.d"
+  "fig08_skew"
+  "fig08_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cardinality.dir/fig09_cardinality.cc.o"
+  "CMakeFiles/fig09_cardinality.dir/fig09_cardinality.cc.o.d"
+  "fig09_cardinality"
+  "fig09_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

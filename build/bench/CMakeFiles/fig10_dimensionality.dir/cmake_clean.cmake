@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dimensionality.dir/fig10_dimensionality.cc.o"
+  "CMakeFiles/fig10_dimensionality.dir/fig10_dimensionality.cc.o.d"
+  "fig10_dimensionality"
+  "fig10_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/headline_scale.cc" "bench/CMakeFiles/headline_scale.dir/headline_scale.cc.o" "gcc" "bench/CMakeFiles/headline_scale.dir/headline_scale.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sncube_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sncube_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sncube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sncube_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sncube_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqcube/CMakeFiles/sncube_seqcube.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sncube_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sncube_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sncube_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/sncube_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sncube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

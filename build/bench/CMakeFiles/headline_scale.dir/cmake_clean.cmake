@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_scale.dir/headline_scale.cc.o"
+  "CMakeFiles/headline_scale.dir/headline_scale.cc.o.d"
+  "headline_scale"
+  "headline_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

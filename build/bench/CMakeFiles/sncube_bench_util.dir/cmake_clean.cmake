@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsncube_bench_util.a"
+  "../lib/libsncube_bench_util.pdb"
+  "CMakeFiles/sncube_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sncube_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsncube_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cube.dir/cluster_cube.cc.o"
+  "CMakeFiles/cluster_cube.dir/cluster_cube.cc.o.d"
+  "cluster_cube"
+  "cluster_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_cube_selection.dir/partial_cube_selection.cc.o"
+  "CMakeFiles/partial_cube_selection.dir/partial_cube_selection.cc.o.d"
+  "partial_cube_selection"
+  "partial_cube_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_cube_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_schema_cube.dir/wide_schema_cube.cc.o"
+  "CMakeFiles/wide_schema_cube.dir/wide_schema_cube.cc.o.d"
+  "wide_schema_cube"
+  "wide_schema_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_schema_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_common.dir/env.cc.o"
+  "CMakeFiles/sncube_common.dir/env.cc.o.d"
+  "CMakeFiles/sncube_common.dir/rng.cc.o"
+  "CMakeFiles/sncube_common.dir/rng.cc.o.d"
+  "CMakeFiles/sncube_common.dir/zipf.cc.o"
+  "CMakeFiles/sncube_common.dir/zipf.cc.o.d"
+  "libsncube_common.a"
+  "libsncube_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

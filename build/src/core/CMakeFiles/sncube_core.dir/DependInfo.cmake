@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/merge_partitions.cc" "src/core/CMakeFiles/sncube_core.dir/merge_partitions.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/merge_partitions.cc.o.d"
+  "/root/repo/src/core/onedim_baseline.cc" "src/core/CMakeFiles/sncube_core.dir/onedim_baseline.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/onedim_baseline.cc.o.d"
+  "/root/repo/src/core/parallel_cube.cc" "src/core/CMakeFiles/sncube_core.dir/parallel_cube.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/parallel_cube.cc.o.d"
+  "/root/repo/src/core/sample_sort.cc" "src/core/CMakeFiles/sncube_core.dir/sample_sort.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/sample_sort.cc.o.d"
+  "/root/repo/src/core/sampling_array.cc" "src/core/CMakeFiles/sncube_core.dir/sampling_array.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/sampling_array.cc.o.d"
+  "/root/repo/src/core/workpart_baseline.cc" "src/core/CMakeFiles/sncube_core.dir/workpart_baseline.cc.o" "gcc" "src/core/CMakeFiles/sncube_core.dir/workpart_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seqcube/CMakeFiles/sncube_seqcube.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sncube_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sncube_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sncube_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/sncube_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sncube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sncube_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_core.dir/merge_partitions.cc.o"
+  "CMakeFiles/sncube_core.dir/merge_partitions.cc.o.d"
+  "CMakeFiles/sncube_core.dir/onedim_baseline.cc.o"
+  "CMakeFiles/sncube_core.dir/onedim_baseline.cc.o.d"
+  "CMakeFiles/sncube_core.dir/parallel_cube.cc.o"
+  "CMakeFiles/sncube_core.dir/parallel_cube.cc.o.d"
+  "CMakeFiles/sncube_core.dir/sample_sort.cc.o"
+  "CMakeFiles/sncube_core.dir/sample_sort.cc.o.d"
+  "CMakeFiles/sncube_core.dir/sampling_array.cc.o"
+  "CMakeFiles/sncube_core.dir/sampling_array.cc.o.d"
+  "CMakeFiles/sncube_core.dir/workpart_baseline.cc.o"
+  "CMakeFiles/sncube_core.dir/workpart_baseline.cc.o.d"
+  "libsncube_core.a"
+  "libsncube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_data.dir/generator.cc.o"
+  "CMakeFiles/sncube_data.dir/generator.cc.o.d"
+  "CMakeFiles/sncube_data.dir/retail.cc.o"
+  "CMakeFiles/sncube_data.dir/retail.cc.o.d"
+  "libsncube_data.a"
+  "libsncube_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_io.dir/disk.cc.o"
+  "CMakeFiles/sncube_io.dir/disk.cc.o.d"
+  "CMakeFiles/sncube_io.dir/external_sort.cc.o"
+  "CMakeFiles/sncube_io.dir/external_sort.cc.o.d"
+  "CMakeFiles/sncube_io.dir/run_store.cc.o"
+  "CMakeFiles/sncube_io.dir/run_store.cc.o.d"
+  "libsncube_io.a"
+  "libsncube_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

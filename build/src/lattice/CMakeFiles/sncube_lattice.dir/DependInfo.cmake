@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/estimate.cc" "src/lattice/CMakeFiles/sncube_lattice.dir/estimate.cc.o" "gcc" "src/lattice/CMakeFiles/sncube_lattice.dir/estimate.cc.o.d"
+  "/root/repo/src/lattice/fm_sketch.cc" "src/lattice/CMakeFiles/sncube_lattice.dir/fm_sketch.cc.o" "gcc" "src/lattice/CMakeFiles/sncube_lattice.dir/fm_sketch.cc.o.d"
+  "/root/repo/src/lattice/lattice.cc" "src/lattice/CMakeFiles/sncube_lattice.dir/lattice.cc.o" "gcc" "src/lattice/CMakeFiles/sncube_lattice.dir/lattice.cc.o.d"
+  "/root/repo/src/lattice/view_id.cc" "src/lattice/CMakeFiles/sncube_lattice.dir/view_id.cc.o" "gcc" "src/lattice/CMakeFiles/sncube_lattice.dir/view_id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/sncube_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sncube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

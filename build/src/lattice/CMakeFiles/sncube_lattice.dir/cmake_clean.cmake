@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_lattice.dir/estimate.cc.o"
+  "CMakeFiles/sncube_lattice.dir/estimate.cc.o.d"
+  "CMakeFiles/sncube_lattice.dir/fm_sketch.cc.o"
+  "CMakeFiles/sncube_lattice.dir/fm_sketch.cc.o.d"
+  "CMakeFiles/sncube_lattice.dir/lattice.cc.o"
+  "CMakeFiles/sncube_lattice.dir/lattice.cc.o.d"
+  "CMakeFiles/sncube_lattice.dir/view_id.cc.o"
+  "CMakeFiles/sncube_lattice.dir/view_id.cc.o.d"
+  "libsncube_lattice.a"
+  "libsncube_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

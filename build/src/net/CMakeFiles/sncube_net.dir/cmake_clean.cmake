@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_net.dir/cluster.cc.o"
+  "CMakeFiles/sncube_net.dir/cluster.cc.o.d"
+  "CMakeFiles/sncube_net.dir/comm.cc.o"
+  "CMakeFiles/sncube_net.dir/comm.cc.o.d"
+  "libsncube_net.a"
+  "libsncube_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

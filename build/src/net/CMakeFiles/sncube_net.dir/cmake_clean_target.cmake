@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsncube_net.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/sncube_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/sncube_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/greedy_select.cc" "src/query/CMakeFiles/sncube_query.dir/greedy_select.cc.o" "gcc" "src/query/CMakeFiles/sncube_query.dir/greedy_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seqcube/CMakeFiles/sncube_seqcube.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sncube_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/sncube_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sncube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sncube_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sncube_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

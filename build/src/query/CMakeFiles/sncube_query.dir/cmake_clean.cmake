@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_query.dir/engine.cc.o"
+  "CMakeFiles/sncube_query.dir/engine.cc.o.d"
+  "CMakeFiles/sncube_query.dir/greedy_select.cc.o"
+  "CMakeFiles/sncube_query.dir/greedy_select.cc.o.d"
+  "libsncube_query.a"
+  "libsncube_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_relation.dir/aggregate.cc.o"
+  "CMakeFiles/sncube_relation.dir/aggregate.cc.o.d"
+  "CMakeFiles/sncube_relation.dir/csv.cc.o"
+  "CMakeFiles/sncube_relation.dir/csv.cc.o.d"
+  "CMakeFiles/sncube_relation.dir/schema.cc.o"
+  "CMakeFiles/sncube_relation.dir/schema.cc.o.d"
+  "CMakeFiles/sncube_relation.dir/serialize.cc.o"
+  "CMakeFiles/sncube_relation.dir/serialize.cc.o.d"
+  "libsncube_relation.a"
+  "libsncube_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_schedule.dir/matching.cc.o"
+  "CMakeFiles/sncube_schedule.dir/matching.cc.o.d"
+  "CMakeFiles/sncube_schedule.dir/partial.cc.o"
+  "CMakeFiles/sncube_schedule.dir/partial.cc.o.d"
+  "CMakeFiles/sncube_schedule.dir/pipesort.cc.o"
+  "CMakeFiles/sncube_schedule.dir/pipesort.cc.o.d"
+  "CMakeFiles/sncube_schedule.dir/schedule_tree.cc.o"
+  "CMakeFiles/sncube_schedule.dir/schedule_tree.cc.o.d"
+  "libsncube_schedule.a"
+  "libsncube_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqcube/cube_result.cc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/cube_result.cc.o" "gcc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/cube_result.cc.o.d"
+  "/root/repo/src/seqcube/pipeline.cc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/pipeline.cc.o" "gcc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/pipeline.cc.o.d"
+  "/root/repo/src/seqcube/seq_cube.cc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/seq_cube.cc.o" "gcc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/seq_cube.cc.o.d"
+  "/root/repo/src/seqcube/view_store.cc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/view_store.cc.o" "gcc" "src/seqcube/CMakeFiles/sncube_seqcube.dir/view_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/sncube_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sncube_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/sncube_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sncube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sncube_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube_seqcube.dir/cube_result.cc.o"
+  "CMakeFiles/sncube_seqcube.dir/cube_result.cc.o.d"
+  "CMakeFiles/sncube_seqcube.dir/pipeline.cc.o"
+  "CMakeFiles/sncube_seqcube.dir/pipeline.cc.o.d"
+  "CMakeFiles/sncube_seqcube.dir/seq_cube.cc.o"
+  "CMakeFiles/sncube_seqcube.dir/seq_cube.cc.o.d"
+  "CMakeFiles/sncube_seqcube.dir/view_store.cc.o"
+  "CMakeFiles/sncube_seqcube.dir/view_store.cc.o.d"
+  "libsncube_seqcube.a"
+  "libsncube_seqcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube_seqcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

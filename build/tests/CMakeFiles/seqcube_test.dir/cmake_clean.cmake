@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqcube_test.dir/seqcube_test.cc.o"
+  "CMakeFiles/seqcube_test.dir/seqcube_test.cc.o.d"
+  "seqcube_test"
+  "seqcube_test.pdb"
+  "seqcube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqcube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

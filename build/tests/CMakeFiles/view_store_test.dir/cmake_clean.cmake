@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_store_test.dir/view_store_test.cc.o"
+  "CMakeFiles/view_store_test.dir/view_store_test.cc.o.d"
+  "view_store_test"
+  "view_store_test.pdb"
+  "view_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

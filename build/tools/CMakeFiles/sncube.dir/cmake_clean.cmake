@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sncube.dir/sncube_cli.cc.o"
+  "CMakeFiles/sncube.dir/sncube_cli.cc.o.d"
+  "sncube"
+  "sncube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sncube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
