@@ -1,0 +1,123 @@
+// serve_load — closed-loop load driver for the concurrent serving layer.
+//
+// Builds a cube in memory, then replays a Zipf-skewed query mix (the hot
+// dashboard-traffic model of serve/workload.h) against CubeServer with a
+// configurable number of closed-loop clients: each client issues its next
+// query only after the previous answer returns, the classic closed-loop
+// throughput/latency experiment. A single-threaded engine loop over the
+// same query sequence is the baseline, so the headline number is the
+// serving layer's speedup over one thread — worker parallelism plus the
+// sharded result cache.
+//
+// Emits BENCH_serve.json: one JSON record with throughput, speedup, cache
+// hit rate, rejection count, and p50/p95/p99 latency. Knobs (env):
+//   SNCUBE_SERVE_WORKERS  worker threads      (default 8)
+//   SNCUBE_SERVE_CLIENTS  closed-loop clients (default 16)
+//   SNCUBE_SERVE_QUERIES  total queries       (default 30000)
+//   SNCUBE_SERVE_ALPHA    query-popularity Zipf exponent (default 1.0)
+//   SNCUBE_SCALE          scales the cube's row count as everywhere else
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "query/engine.h"
+#include "seqcube/seq_cube.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+
+using namespace sncube;
+
+int main() {
+  // A mid-size cube: big enough that engine execution costs real time,
+  // small enough to build in seconds inside a container.
+  DatasetSpec spec;
+  spec.rows = BenchRows(200000, 1000000);
+  spec.cardinalities = {256, 128, 64, 32, 16, 8};
+  spec.seed = 42;
+  const Relation raw = GenerateDataset(spec);
+  const Schema schema = spec.MakeSchema();
+  const CubeResult cube = SequentialCube(raw, schema, AllViews(schema.dims()));
+  std::printf("cube: %llu rows across %zu views\n",
+              static_cast<unsigned long long>(cube.TotalRows()),
+              cube.views.size());
+
+  WorkloadSpec wspec;
+  wspec.alpha = EnvDouble("SNCUBE_SERVE_ALPHA", 1.0);
+  wspec.pool_size = 256;
+  const QueryMix mix(cube, schema, wspec);
+
+  const int workers = static_cast<int>(EnvInt("SNCUBE_SERVE_WORKERS", 8));
+  const int clients = static_cast<int>(EnvInt("SNCUBE_SERVE_CLIENTS", 16));
+  const std::int64_t queries = EnvInt("SNCUBE_SERVE_QUERIES", 30000);
+
+  // Baseline: one thread, bare engine, same popularity distribution.
+  // Capped so cold large scans don't make the baseline take minutes.
+  const std::int64_t base_n = std::min<std::int64_t>(queries, 5000);
+  const CubeQueryEngine engine(cube);
+  double base_qps = 0;
+  {
+    Rng rng(7);
+    WallTimer t;
+    for (std::int64_t i = 0; i < base_n; ++i) {
+      engine.Execute(mix.Sample(rng));
+    }
+    base_qps = static_cast<double>(base_n) / t.Seconds();
+  }
+  std::printf("baseline single-thread engine: %.0f q/s\n", base_qps);
+
+  ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_depth = 1024;
+  opts.cache_bytes = 256u << 20;
+  CubeServer server(cube, opts);
+
+  // Warm the cache: one pass over the whole pool so the measured window
+  // exercises the steady state ("warm cache" in the acceptance criterion).
+  for (const Query& q : mix.pool()) server.Execute(q);
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1000003ULL * static_cast<std::uint64_t>(c + 1));
+      const std::int64_t n =
+          queries / clients + (c < queries % clients ? 1 : 0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        server.Execute(mix.Sample(rng));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = timer.Seconds();
+  server.Shutdown();
+
+  const StatsSnapshot stats = server.Stats();
+  const double qps = static_cast<double>(queries) / wall_s;
+  const double speedup = qps / base_qps;
+  std::printf("served %lld queries in %.3f s: %.0f q/s (%.1fx single-thread),"
+              " hit rate %.3f, p50 %.0f us, p95 %.0f us, p99 %.0f us,"
+              " rejected %llu\n",
+              static_cast<long long>(queries), wall_s, qps, speedup,
+              stats.hit_rate(), stats.latency.p50_us, stats.latency.p95_us,
+              stats.latency.p99_us,
+              static_cast<unsigned long long>(stats.rejected));
+
+  std::ofstream os("BENCH_serve.json");
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"serve_load\",\"workers\":%d,\"clients\":%d,"
+                "\"queries\":%lld,\"alpha\":%.2f,\"wall_s\":%.4f,"
+                "\"qps\":%.0f,\"single_thread_qps\":%.0f,\"speedup\":%.2f,",
+                workers, clients, static_cast<long long>(queries),
+                wspec.alpha, wall_s, qps, base_qps, speedup);
+  os << buf << "\"stats\":" << stats.ToJson() << "}\n";
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

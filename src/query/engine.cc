@@ -19,6 +19,8 @@ ViewId CubeQueryEngine::Route(const Query& query) const {
   ViewId best;
   std::size_t best_rows = std::numeric_limits<std::size_t>::max();
   bool found = false;
+  // Smallest covering view wins; among equal row counts the smallest ViewId
+  // wins, making the route independent of unordered_map iteration order.
   for (const auto& [id, vr] : cube_.views) {
     if (!vr.selected || !needed.IsSubsetOf(id)) continue;
     if (!found || vr.rel.size() < best_rows ||

@@ -42,14 +42,23 @@ struct QueryAnswer {
   std::uint64_t rows_scanned = 0;
 };
 
+// Thread safety: CubeQueryEngine is logically const. Route and Execute only
+// read the referenced CubeResult and allocate their results locally, so any
+// number of threads may call them concurrently on one engine — PROVIDED the
+// CubeResult is not mutated after the engine is constructed. That
+// immutability contract is what makes the lock-free read path of
+// serve/server.h sound; see DESIGN.md ("Immutability of CubeResult").
 class CubeQueryEngine {
  public:
-  // The engine keeps a reference to the cube; it must outlive the engine.
+  // The engine keeps a reference to the cube; it must outlive the engine
+  // and must not be mutated while any engine method is executing.
   explicit CubeQueryEngine(const CubeResult& cube);
 
-  // The materialized view a query would be routed to (smallest row count
-  // among views containing all referenced dimensions). Throws when no
-  // materialized view covers the query (possible for partial cubes).
+  // The materialized view a query would be routed to: smallest row count
+  // among views containing all referenced dimensions, ties broken by the
+  // smallest ViewId (mask) so routing is deterministic across runs and
+  // unordered_map iteration orders. Throws when no materialized view covers
+  // the query (possible for partial cubes).
   ViewId Route(const Query& query) const;
 
   QueryAnswer Execute(const Query& query) const;

@@ -5,6 +5,11 @@
 // order its rows are in; `order` records that sort order. Keeping one column
 // convention makes views comparable across processors, schedule trees, and
 // algorithms — only row order differs, and that is explicit.
+//
+// Lifecycle contract: a CubeResult is MUTABLE while an algorithm builds it
+// and IMMUTABLE once handed to readers (CubeQueryEngine, CubeServer). The
+// serving layer's lock-free concurrent reads rely on no one touching
+// `views` after construction — see DESIGN.md ("Immutability of CubeResult").
 #pragma once
 
 #include <cstdint>

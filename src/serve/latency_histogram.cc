@@ -1,0 +1,61 @@
+#include "serve/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace sncube {
+
+namespace {
+
+// Lower/upper bounds of bucket i: [2^(i-1), 2^i); bucket 0 is exactly 0.
+double BucketLower(int i) { return i == 0 ? 0.0 : std::ldexp(1.0, i - 1); }
+double BucketUpper(int i) { return i == 0 ? 1.0 : std::ldexp(1.0, i); }
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t micros) {
+  const int bucket = micros == 0 ? 0 : std::bit_width(micros);
+  buckets_[static_cast<std::size_t>(bucket < kBuckets ? bucket : kBuckets - 1)]
+      .fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < micros && !max_us_.compare_exchange_weak(
+                              prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  LatencySnapshot snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    snap.count += counts[static_cast<std::size_t>(i)];
+  }
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+
+  // Quantile by cumulative walk; linear interpolation inside the bucket.
+  const auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(snap.count);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      if (static_cast<double>(cum + c) >= target) {
+        const double within =
+            (target - static_cast<double>(cum)) / static_cast<double>(c);
+        return BucketLower(i) + within * (BucketUpper(i) - BucketLower(i));
+      }
+      cum += c;
+    }
+    return static_cast<double>(snap.max_us);
+  };
+  snap.p50_us = quantile(0.50);
+  snap.p95_us = quantile(0.95);
+  snap.p99_us = quantile(0.99);
+  return snap;
+}
+
+}  // namespace sncube

@@ -1,0 +1,47 @@
+// Lock-free latency histogram with quantile snapshots.
+//
+// Record() buckets a microsecond latency into one of 64 power-of-two bins
+// (bucket i holds values in [2^(i-1), 2^i), bucket 0 holds {0}) and bumps an
+// atomic counter — no locks, no allocation, safe from any number of threads
+// on the serving hot path. Snapshot() reads the counters (relaxed; the
+// histogram is monotone so a torn snapshot is still a valid histogram from
+// some recent moment) and interpolates p50/p95/p99 within the winning
+// bucket. Power-of-two bins bound the quantile error at 2× worst case —
+// the right trade for an overload signal, matching the phase-attribution
+// spirit of src/net/metrics.h where exactness matters less than attribution.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sncube {
+
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / count;
+  }
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(std::uint64_t micros);
+
+  LatencySnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+}  // namespace sncube

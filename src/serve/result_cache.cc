@@ -1,0 +1,86 @@
+#include "serve/result_cache.h"
+
+#include "common/status.h"
+#include "serve/query_key.h"
+
+namespace sncube {
+
+std::size_t CacheEntryBytes(const std::string& key,
+                            const QueryAnswer& answer) {
+  // Payload plus key plus a flat allowance for list/map node overhead.
+  constexpr std::size_t kPerEntryOverhead = 128;
+  return answer.rel.ByteSize() + key.size() + kPerEntryOverhead;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget, int shards)
+    : byte_budget_(byte_budget) {
+  SNCUBE_CHECK(shards >= 1);
+  shard_budget_ = byte_budget / static_cast<std::size_t>(shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[QueryKeyHash(key) % shards_.size()];
+}
+
+std::shared_ptr<const QueryAnswer> ResultCache::Get(const std::string& key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
+  return it->second->answer;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const QueryAnswer> answer) {
+  const std::size_t bytes = CacheEntryBytes(key, *answer);
+  if (bytes > shard_budget_) return;  // would evict the whole shard for one entry
+
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(key); it != s.index.end()) {
+    // Refresh in place (same key ⇒ same answer over an immutable cube, but
+    // keep the newer shared_ptr and re-account defensively).
+    s.bytes -= it->second->bytes;
+    it->second->answer = std::move(answer);
+    it->second->bytes = bytes;
+    s.bytes += bytes;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  while (s.bytes + bytes > shard_budget_ && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.bytes;
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Entry{key, std::move(answer), bytes});
+  s.index.emplace(key, s.lru.begin());
+  s.bytes += bytes;
+  ++s.inserts;
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats total;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    total.hits += sp->hits;
+    total.misses += sp->misses;
+    total.inserts += sp->inserts;
+    total.evictions += sp->evictions;
+    total.bytes += sp->bytes;
+    total.entries += sp->index.size();
+  }
+  return total;
+}
+
+}  // namespace sncube

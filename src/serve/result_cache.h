@@ -1,0 +1,90 @@
+// Sharded LRU cache of query answers.
+//
+// The serving layer sits on top of an immutable CubeResult, so a cached
+// answer never goes stale — the only eviction pressure is the byte budget.
+// The cache is split into S independent shards (shard = stable hash of the
+// canonical query key, see query_key.h), each with its own mutex, LRU list,
+// and slice of the byte budget, so concurrent lookups on different shards
+// never contend. Values are shared_ptr<const QueryAnswer>: a hit hands out a
+// reference that stays valid even if the entry is evicted mid-read.
+//
+// Accounting charges each entry its answer payload (Relation::ByteSize) plus
+// key bytes and a fixed per-entry overhead, so a flood of tiny answers still
+// respects the budget. An answer larger than a whole shard's budget is not
+// cached at all (it would only evict everything else and then itself).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/engine.h"
+
+namespace sncube {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;     // currently resident
+  std::uint64_t entries = 0;   // currently resident
+};
+
+class ResultCache {
+ public:
+  // `byte_budget` is the total across shards; each shard gets an equal
+  // slice. `shards` must be >= 1; budget 0 disables insertion entirely.
+  ResultCache(std::size_t byte_budget, int shards = 16);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached answer for `key`, or nullptr on miss. A hit promotes
+  // the entry to most-recently-used.
+  std::shared_ptr<const QueryAnswer> Get(const std::string& key);
+
+  // Inserts (or refreshes) `answer` under `key`, evicting LRU entries of the
+  // same shard until the shard fits its budget slice. Oversized answers are
+  // dropped silently.
+  void Put(const std::string& key, std::shared_ptr<const QueryAnswer> answer);
+
+  // Aggregated counters across shards (consistent per shard, not globally
+  // atomic — fine for monitoring).
+  CacheStats Stats() const;
+
+  std::size_t byte_budget() const { return byte_budget_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QueryAnswer> answer;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Bytes charged against the budget for one cached answer.
+std::size_t CacheEntryBytes(const std::string& key, const QueryAnswer& answer);
+
+}  // namespace sncube

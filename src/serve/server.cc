@@ -1,0 +1,151 @@
+#include "serve/server.h"
+
+#include <sstream>
+
+#include "common/status.h"
+#include "serve/query_key.h"
+
+namespace sncube {
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"accepted\":" << accepted << ",\"rejected\":" << rejected
+     << ",\"completed\":" << completed << ",\"failed\":" << failed
+     << ",\"queue_depth\":" << queue_depth
+     << ",\"queue_depth_max\":" << queue_depth_max
+     << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+     << ",\"inserts\":" << cache.inserts
+     << ",\"evictions\":" << cache.evictions << ",\"bytes\":" << cache.bytes
+     << ",\"entries\":" << cache.entries << ",\"hit_rate\":" << hit_rate()
+     << "},\"latency_us\":{\"count\":" << latency.count
+     << ",\"mean\":" << latency.mean_us() << ",\"p50\":" << latency.p50_us
+     << ",\"p95\":" << latency.p95_us << ",\"p99\":" << latency.p99_us
+     << ",\"max\":" << latency.max_us << "}}";
+  return os.str();
+}
+
+CubeServer::CubeServer(const CubeResult& cube, ServerOptions options)
+    : options_(options),
+      engine_(cube),
+      cache_(options.cache_bytes, options.cache_shards) {
+  SNCUBE_CHECK(options_.workers >= 1);
+  SNCUBE_CHECK(options_.queue_depth >= 1);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CubeServer::~CubeServer() { Shutdown(); }
+
+SubmitStatus CubeServer::Submit(const Query& query, Callback done) {
+  Request req;
+  req.query = query;
+  req.key = CanonicalQueryKey(query);
+  req.done = std::move(done);
+  req.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return SubmitStatus::kShutdown;
+    if (queue_.size() >= options_.queue_depth) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitStatus::kRejected;
+    }
+    queue_.push_back(std::move(req));
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+std::shared_ptr<const QueryAnswer> CubeServer::Execute(const Query& query) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::shared_ptr<const QueryAnswer> result;
+  bool ready = false;
+  const SubmitStatus st =
+      Submit(query, [&](std::shared_ptr<const QueryAnswer> answer) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = std::move(answer);
+        ready = true;
+        cv.notify_one();
+      });
+  if (st != SubmitStatus::kAccepted) return nullptr;
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return result;
+}
+
+void CubeServer::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(req);
+  }
+}
+
+void CubeServer::Process(Request& req) {
+  std::shared_ptr<const QueryAnswer> answer = cache_.Get(req.key);
+  if (answer == nullptr) {
+    try {
+      answer = std::make_shared<const QueryAnswer>(engine_.Execute(req.query));
+      cache_.Put(req.key, answer);
+    } catch (const SncubeError&) {
+      answer = nullptr;  // e.g. no materialized view covers the query
+    }
+  }
+  // Account before the callback runs: a client that wakes on the callback
+  // (CubeServer::Execute) must observe its own request in Stats(), and the
+  // callback body is client time, not serving latency.
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - req.enqueued)
+                      .count();
+  latency_.Record(static_cast<std::uint64_t>(us));
+  if (answer == nullptr) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (req.done) req.done(std::move(answer));
+}
+
+void CubeServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shut down (or shutting down from another caller); workers
+      // may still be joining below on the first caller's thread.
+      return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+StatsSnapshot CubeServer::Stats() const {
+  StatsSnapshot s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.queue_depth_max = options_.queue_depth;
+  s.cache = cache_.Stats();
+  s.latency = latency_.Snapshot();
+  return s;
+}
+
+}  // namespace sncube

@@ -1,0 +1,135 @@
+// CubeServer — concurrent query serving over an immutable materialized cube.
+//
+// The paper materializes the cube so that "subsequent OLAP queries" are
+// cheap; this layer is where those queries actually land. A CubeServer owns
+// a fixed pool of worker threads draining one bounded FIFO request queue:
+//
+//   clients ── Submit ──▶ [bounded queue] ──▶ workers ──▶ cache / engine
+//                │ full?                            │
+//                └─ kRejected (admission control)   └─ callback(answer)
+//
+// Admission control is reject-on-overflow: when the queue holds
+// `queue_depth` requests, Submit fails fast with kRejected instead of
+// blocking the client — under overload a bounded queue plus rejection keeps
+// tail latency flat where an unbounded queue would grow it without limit.
+//
+// The read path is lock-free with respect to the cube: CubeQueryEngine is
+// logically const over an immutable CubeResult (see the thread-safety
+// contract in query/engine.h), so any number of workers execute queries
+// concurrently with no synchronization on cube data. Shared mutable state is
+// confined to the request queue (one mutex), the sharded result cache
+// (per-shard mutexes), and atomic metrics.
+//
+// Shutdown() is graceful: already-accepted requests are drained and their
+// callbacks run; subsequent Submits return kShutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/engine.h"
+#include "serve/latency_histogram.h"
+#include "serve/result_cache.h"
+
+namespace sncube {
+
+struct ServerOptions {
+  int workers = 4;                          // worker threads (>= 1)
+  std::size_t queue_depth = 256;            // max queued requests (>= 1)
+  std::size_t cache_bytes = 64u << 20;      // result cache budget; 0 = off
+  int cache_shards = 16;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,   // enqueued; callback will run on a worker thread
+  kRejected,   // queue full — overload, client should back off
+  kShutdown,   // server is stopping; no new work accepted
+};
+
+// Point-in-time view of the server's counters, printable as JSON.
+struct StatsSnapshot {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;        // queries that threw (e.g. no covering view)
+  std::uint64_t queue_depth = 0;   // current
+  std::uint64_t queue_depth_max = 0;  // configured bound
+  CacheStats cache;
+  LatencySnapshot latency;         // end-to-end: Submit → callback done
+
+  double hit_rate() const {
+    const std::uint64_t lookups = cache.hits + cache.misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
+  }
+  // Single-line JSON record (the shape BENCH_serve.json embeds).
+  std::string ToJson() const;
+};
+
+class CubeServer {
+ public:
+  // The cube must outlive the server and MUST NOT be mutated while the
+  // server is running — all workers read it without locks.
+  explicit CubeServer(const CubeResult& cube, ServerOptions options = {});
+  ~CubeServer();
+
+  CubeServer(const CubeServer&) = delete;
+  CubeServer& operator=(const CubeServer&) = delete;
+
+  // Asynchronous entry point. On kAccepted the callback runs exactly once on
+  // a worker thread with the answer (cached or freshly computed); on any
+  // error inside execution the callback runs with answer == nullptr. On
+  // kRejected/kShutdown the callback never runs.
+  using Callback = std::function<void(std::shared_ptr<const QueryAnswer>)>;
+  SubmitStatus Submit(const Query& query, Callback done);
+
+  // Synchronous convenience: Submit + wait. Returns nullptr when the request
+  // was rejected (overload), shut out, or failed to execute.
+  std::shared_ptr<const QueryAnswer> Execute(const Query& query);
+
+  // Drains accepted requests, then joins the workers. Idempotent; called by
+  // the destructor.
+  void Shutdown();
+
+  StatsSnapshot Stats() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    Query query;
+    std::string key;
+    Callback done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void Process(Request& req);
+
+  const ServerOptions options_;
+  CubeQueryEngine engine_;
+  ResultCache cache_;
+  LatencyHistogram latency_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sncube

@@ -1,0 +1,54 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sncube {
+
+QueryMix::QueryMix(const CubeResult& cube, const Schema& schema,
+                   WorkloadSpec spec)
+    : popularity_(static_cast<std::uint32_t>(
+                      spec.pool_size > 0 ? spec.pool_size : 1),
+                  spec.alpha) {
+  SNCUBE_CHECK(spec.pool_size >= 1);
+  std::vector<ViewId> selected;
+  for (const auto& [id, vr] : cube.views) {
+    if (vr.selected) selected.push_back(id);
+  }
+  SNCUBE_CHECK_MSG(!selected.empty(), "cube has no selected views");
+  // unordered_map order is not deterministic; fix it.
+  std::sort(selected.begin(), selected.end());
+
+  Rng rng(spec.seed);
+  pool_.reserve(static_cast<std::size_t>(spec.pool_size));
+  for (int i = 0; i < spec.pool_size; ++i) {
+    // Pick a materialized view, then group by a random subset of its
+    // dimensions — routable by construction (the view covers it).
+    const ViewId base = selected[rng.Below(selected.size())];
+    const std::vector<int> dims = base.DimList();
+    Query q;
+    for (int d : dims) {
+      if (rng.NextDouble() < 0.5) q.group_by = q.group_by.With(d);
+    }
+    // Optional slice: filter one of the view's remaining dimensions so the
+    // query still routes within `base` (or an even smaller cover).
+    if (!dims.empty() && rng.NextDouble() < spec.filter_prob) {
+      const int fd = dims[rng.Below(dims.size())];
+      if (!q.group_by.Contains(fd)) {
+        const Key v = static_cast<Key>(rng.Below(schema.cardinality(fd)));
+        q.filters.push_back({fd, v});
+      }
+    }
+    if (rng.NextDouble() < spec.topk_prob && !q.group_by.empty()) {
+      q.top_k = 10;
+    }
+    pool_.push_back(std::move(q));
+  }
+}
+
+const Query& QueryMix::Sample(Rng& rng) const {
+  return pool_[popularity_.Sample(rng)];
+}
+
+}  // namespace sncube

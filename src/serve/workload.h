@@ -1,0 +1,50 @@
+// Synthetic OLAP query workloads for the serving layer.
+//
+// Real dashboard traffic is a small pool of distinct queries hit with very
+// skewed popularity — a handful of hot group-bys dominate. QueryMix models
+// that: a deterministic pool of `pool_size` distinct queries (random
+// group-bys drawn from materialized views, optional slice filters and
+// top-k), sampled with Zipf(alpha) popularity over the pool rank (alpha = 0
+// uniform, alpha = 1 classic web skew — reusing common/zipf.h, the same
+// skew model the paper uses for data generation). Every query in the pool
+// is routable by construction: its dimensions are a subset of a
+// materialized view's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "query/engine.h"
+#include "relation/schema.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+struct WorkloadSpec {
+  int pool_size = 256;        // distinct queries in the mix
+  double alpha = 1.0;         // Zipf skew of query popularity over the pool
+  double filter_prob = 0.25;  // chance a query carries one equality filter
+  double topk_prob = 0.10;    // chance a query asks for top-10
+  std::uint64_t seed = 42;
+};
+
+class QueryMix {
+ public:
+  // Builds the pool from the cube's selected views; `schema` bounds filter
+  // values. Deterministic under `spec.seed`.
+  QueryMix(const CubeResult& cube, const Schema& schema, WorkloadSpec spec);
+
+  // Draws one query by Zipf-ranked popularity. Thread-safe as long as each
+  // thread brings its own Rng (the mix itself is immutable after build).
+  const Query& Sample(Rng& rng) const;
+
+  const std::vector<Query>& pool() const { return pool_; }
+
+ private:
+  std::vector<Query> pool_;
+  ZipfSampler popularity_;
+};
+
+}  // namespace sncube

@@ -77,6 +77,36 @@ TEST_F(QueryFixture, PartialCubeFallsBackToAncestor) {
             BruteForceView(raw, ViewId::FromDims({1}), AggFn::kSum));
 }
 
+TEST_F(QueryFixture, RouteTieBreaksOnSmallestViewId) {
+  // Two covering views with EQUAL row counts: routing must deterministically
+  // pick the smaller ViewId (mask), independent of hash-map iteration order.
+  const std::vector<ViewId> selected{ViewId::Full(4),
+                                     ViewId::FromDims({0, 3}),
+                                     ViewId::FromDims({1, 3})};
+  CubeResult partial = SequentialCube(raw, schema, selected);
+  // Force the tie regardless of data: trim both candidates to the same
+  // row count (the engine only compares sizes, not contents, when routing).
+  ViewResult& a = partial.views.at(ViewId::FromDims({0, 3}));
+  ViewResult& b = partial.views.at(ViewId::FromDims({1, 3}));
+  const std::size_t n = std::min(a.rel.size(), b.rel.size());
+  const auto trim = [&](ViewResult& vr) {
+    Relation t(vr.rel.width());
+    for (std::size_t r = 0; r < n; ++r) t.AppendRow(vr.rel, r);
+    vr.rel = std::move(t);
+  };
+  trim(a);
+  trim(b);
+
+  CubeQueryEngine engine(partial);
+  Query q;
+  q.group_by = ViewId::FromDims({3});
+  // Both AD (mask 0b1001) and BD (mask 0b1010) cover {3} with equal rows;
+  // the smaller mask (AD) must win, every time.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(engine.Route(q), ViewId::FromDims({0, 3}));
+  }
+}
+
 TEST_F(QueryFixture, ThrowsWhenNothingCovers) {
   const std::vector<ViewId> selected{ViewId::FromDims({0, 1})};
   const CubeResult partial = SequentialCube(raw, schema, selected);

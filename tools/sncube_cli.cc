@@ -6,12 +6,17 @@
 //                   [--views N | --fraction F] [--gamma G] [--local-trees]
 //   sncube info     --cube cubedir
 //   sncube query    --cube cubedir --group-by D0,D2 [--where D1=3]
-//                   [--min|--max] [--top K]
+//                   [--min|--max] [--top K] [--json]
+//   sncube serve    --cube cubedir --bench [--workers W] [--clients C]
+//                   [--queries N] [--queue-depth Q] [--cache-mb MB]
+//                   [--alpha A] [--seed S]
 //
 // `build` runs the paper's parallel shared-nothing algorithm on a simulated
 // cluster of P virtual processors (default 1 = plain sequential Pipesort)
 // and persists every selected view into the cube directory, which `query`
-// then serves with lattice routing.
+// then serves with lattice routing. `serve --bench` replays a synthetic
+// Zipf-skewed query mix through the concurrent CubeServer (src/serve/) and
+// prints its StatsSnapshot as JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +26,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -33,6 +39,8 @@
 #include "relation/csv.h"
 #include "seqcube/seq_cube.h"
 #include "seqcube/view_store.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 
 using namespace sncube;
 
@@ -48,7 +56,10 @@ namespace {
                " [--views N | --fraction F] [--gamma G] [--local-trees]\n"
                "  sncube info --cube cubedir\n"
                "  sncube query --cube cubedir --group-by D0,D2"
-               " [--where D1=3] [--min|--max] [--top K]\n");
+               " [--where D1=3] [--min|--max] [--top K] [--json]\n"
+               "  sncube serve --cube cubedir --bench [--workers W]"
+               " [--clients C] [--queries N] [--queue-depth Q]"
+               " [--cache-mb MB] [--alpha A] [--seed S]\n");
   std::exit(2);
 }
 
@@ -261,16 +272,97 @@ int CmdQuery(const Args& args) {
   if (args.Has("max")) q.fn = AggFn::kMax;
   if (const auto top = args.Get("top")) q.top_k = std::atoi(top->c_str());
 
+  WallTimer timer;
   const QueryAnswer answer = engine.Execute(q);
-  std::printf("-- answered from view %s (%llu rows scanned)\n",
+  const double wall_s = timer.Seconds();
+
+  if (args.Has("json")) {
+    // Machine-readable record for load drivers and dashboards.
+    std::printf("{\"answered_from\":\"%s\",\"rows_scanned\":%llu,"
+                "\"wall_s\":%.6f,\"columns\":[",
+                answer.answered_from.Name(schema).c_str(),
+                static_cast<unsigned long long>(answer.rows_scanned), wall_s);
+    const auto dims = q.group_by.DimList();
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      std::printf("%s\"%s\"", i ? "," : "", schema.name(dims[i]).c_str());
+    }
+    std::printf("],\"rows\":[");
+    for (std::size_t r = 0; r < answer.rel.size(); ++r) {
+      std::printf("%s[", r ? "," : "");
+      for (Key k : answer.rel.RowKeys(r)) std::printf("%u,", k);
+      std::printf("%lld]", static_cast<long long>(answer.rel.measure(r)));
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  std::printf("-- answered from view %s (%llu rows scanned, %.3f ms)\n",
               answer.answered_from.Name(schema).c_str(),
-              static_cast<unsigned long long>(answer.rows_scanned));
+              static_cast<unsigned long long>(answer.rows_scanned),
+              wall_s * 1e3);
   for (int i : q.group_by.DimList()) std::printf("%s,", schema.name(i).c_str());
   std::printf("measure\n");
   for (std::size_t r = 0; r < answer.rel.size(); ++r) {
     for (Key k : answer.rel.RowKeys(r)) std::printf("%u,", k);
     std::printf("%lld\n", static_cast<long long>(answer.rel.measure(r)));
   }
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  if (!args.Has("bench")) {
+    Usage("serve currently requires --bench (replay a synthetic query mix)");
+  }
+  const ViewStore store(args.Require("cube"));
+  const Schema schema = store.LoadSchema();
+  const CubeResult cube = store.LoadCube();
+
+  ServerOptions opts;
+  opts.workers = std::atoi(args.Get("workers").value_or("4").c_str());
+  opts.queue_depth = static_cast<std::size_t>(
+      std::atoll(args.Get("queue-depth").value_or("256").c_str()));
+  opts.cache_bytes = static_cast<std::size_t>(
+      std::atoll(args.Get("cache-mb").value_or("64").c_str())) << 20;
+
+  WorkloadSpec wspec;
+  wspec.alpha = std::stod(args.Get("alpha").value_or("1.0"));
+  wspec.seed = static_cast<std::uint64_t>(
+      std::atoll(args.Get("seed").value_or("42").c_str()));
+  const QueryMix mix(cube, schema, wspec);
+
+  const std::int64_t total_queries =
+      std::atoll(args.Get("queries").value_or("20000").c_str());
+  const int clients = std::atoi(args.Get("clients").value_or("8").c_str());
+  if (clients < 1 || total_queries < 1) {
+    Usage("--clients and --queries must be >= 1");
+  }
+
+  CubeServer server(cube, opts);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(wspec.seed + 1000003ULL * static_cast<std::uint64_t>(c + 1));
+      const std::int64_t n = total_queries / clients +
+                             (c < total_queries % clients ? 1 : 0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        // Closed loop: each client waits for its answer before the next
+        // query; rejections (overload) count and move on.
+        server.Execute(mix.Sample(rng));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = timer.Seconds();
+  server.Shutdown();
+
+  const StatsSnapshot stats = server.Stats();
+  std::printf("{\"workers\":%d,\"clients\":%d,\"queries\":%lld,"
+              "\"wall_s\":%.4f,\"qps\":%.0f,\"stats\":%s}\n",
+              opts.workers, clients,
+              static_cast<long long>(total_queries), wall_s,
+              static_cast<double>(total_queries) / wall_s,
+              stats.ToJson().c_str());
   return 0;
 }
 
@@ -281,11 +373,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc - 2, argv + 2,
-                    {"local-trees", "min", "max"});
+                    {"local-trees", "min", "max", "json", "bench"});
     if (cmd == "generate") return CmdGenerate(args);
     if (cmd == "build") return CmdBuild(args);
     if (cmd == "info") return CmdInfo(args);
     if (cmd == "query") return CmdQuery(args);
+    if (cmd == "serve") return CmdServe(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
