@@ -1,0 +1,220 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "relation/serialize.h"
+
+namespace sncube {
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x534E434B;  // "SNCK"
+constexpr std::uint32_t kCkptVersion = 1;
+
+// Runs `op` (a simulated-disk charge), retrying transient failures under
+// capped exponential backoff charged to the rank's clock, then escalating to
+// a hard SncubeIoError that kills the rank.
+template <typename Fn>
+void WithDiskRetry(Comm& comm, const CheckpointOptions& opts, const char* what,
+                   Fn&& op) {
+  double backoff = opts.backoff_initial_s;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const SncubeTransientIoError& e) {
+      if (attempt >= opts.max_io_retries) {
+        throw SncubeIoError(std::string("checkpoint ") + what +
+                            ": transient I/O error persisted after " +
+                            std::to_string(opts.max_io_retries) +
+                            " retries: " + e.what());
+      }
+      // The wait is real elapsed time on this rank, so it belongs on the
+      // simulated clock (a straggler's waits stretch with its slowdown).
+      comm.ChargeCpu(backoff);
+      backoff = std::min(backoff * 2.0, opts.backoff_cap_s);
+    }
+  }
+}
+
+ByteBuffer SerializeCheckpointView(int index, const ViewResult& vr) {
+  ByteBuffer buf;
+  WirePut(buf, kCkptMagic);
+  WirePut(buf, kCkptVersion);
+  WirePut(buf, static_cast<std::int32_t>(index));
+  WirePut(buf, vr.id.mask());
+  WirePut(buf, static_cast<std::uint8_t>(vr.selected ? 1 : 0));
+  WirePutVector(buf,
+                std::vector<std::uint8_t>(vr.order.begin(), vr.order.end()));
+  WirePut(buf, static_cast<std::uint64_t>(vr.rel.size()));
+  SerializeRows(vr.rel, 0, vr.rel.size(), buf);
+  return buf;
+}
+
+ViewResult ParseCheckpointView(const ByteBuffer& bytes, int index,
+                               ViewId expect_id) {
+  WireReader reader(bytes);
+  if (reader.Get<std::uint32_t>() != kCkptMagic) {
+    throw SncubeCorruptionError("checkpoint view: bad magic");
+  }
+  if (reader.Get<std::uint32_t>() != kCkptVersion) {
+    throw SncubeCorruptionError("checkpoint view: unsupported version");
+  }
+  if (reader.Get<std::int32_t>() != index) {
+    throw SncubeCorruptionError("checkpoint view: wrong partition index");
+  }
+  ViewResult vr;
+  vr.id = ViewId(reader.Get<std::uint32_t>());
+  if (vr.id != expect_id) {
+    throw SncubeCorruptionError("checkpoint view: mask disagrees with name");
+  }
+  vr.selected = reader.Get<std::uint8_t>() != 0;
+  const auto order = reader.GetVector<std::uint8_t>();
+  vr.order.assign(order.begin(), order.end());
+  const auto rows = reader.Get<std::uint64_t>();
+  vr.rel = Relation(vr.id.dim_count());
+  if (rows > reader.remaining() / vr.rel.RowBytes()) {
+    throw SncubeCorruptionError("checkpoint view: row count exceeds payload");
+  }
+  vr.rel.Reserve(rows);
+  DeserializeRows(reader.GetBytes(rows * vr.rel.RowBytes()), vr.rel);
+  if (!reader.AtEnd()) {
+    throw SncubeCorruptionError("checkpoint view: trailing bytes");
+  }
+  return vr;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(const CheckpointOptions& opts, int rank)
+    : opts_(opts), rank_(rank) {
+  if (!enabled()) return;
+  rank_dir_ = std::filesystem::path(opts_.dir) /
+              ("rank" + std::to_string(rank_));
+  std::filesystem::create_directories(rank_dir_);
+}
+
+std::filesystem::path CheckpointManager::ViewPath(int index, ViewId id) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "p%03d_v%05x.ckpt", index, id.mask());
+  return rank_dir_ / name;
+}
+
+std::filesystem::path CheckpointManager::ManifestPath() const {
+  return rank_dir_ / "progress.log";
+}
+
+std::vector<std::pair<int, std::vector<std::uint32_t>>>
+CheckpointManager::ReadManifest() const {
+  std::vector<std::pair<int, std::vector<std::uint32_t>>> entries;
+  std::ifstream in(ManifestPath());
+  if (!in.good()) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    int index = -1;
+    if (!(ls >> tag >> index) || tag != "part" || index < 0) break;
+    std::vector<std::uint32_t> masks;
+    std::uint32_t mask = 0;
+    while (ls >> mask) masks.push_back(mask);
+    if (masks.empty()) break;  // crash-truncated line: partition incomplete
+    entries.emplace_back(index, std::move(masks));
+  }
+  return entries;
+}
+
+int CheckpointManager::LastCompletePartition() const {
+  const auto entries = ReadManifest();
+  int last = -1;
+  for (const auto& [index, masks] : entries) last = std::max(last, index);
+  return last;
+}
+
+void CheckpointManager::SavePartition(Comm& comm, int index,
+                                      const CubeResult& partition_views) {
+  SNCUBE_CHECK(enabled());
+  std::vector<std::uint32_t> masks;
+  for (const auto& [id, vr] : partition_views.views) {
+    const ByteBuffer bytes = SerializeCheckpointView(index, vr);
+    WithDiskRetry(comm, opts_, "write",
+                  [&] { comm.disk().ChargeWrite(bytes.size()); });
+    std::ofstream out(ViewPath(index, id), std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw SncubeIoError("checkpoint: cannot open " +
+                          ViewPath(index, id).string());
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      throw SncubeIoError("checkpoint: short write to " +
+                          ViewPath(index, id).string());
+    }
+    masks.push_back(id.mask());
+  }
+  // Determinism: unordered_map iteration order is unspecified; keep the
+  // manifest canonical so identical builds write identical bytes.
+  std::sort(masks.begin(), masks.end());
+
+  // The manifest line is the commit point: written only after every view of
+  // the partition is safely on disk.
+  std::ostringstream line;
+  line << "part " << index;
+  for (std::uint32_t m : masks) line << ' ' << m;
+  line << '\n';
+  const std::string text = line.str();
+  WithDiskRetry(comm, opts_, "manifest append",
+                [&] { comm.disk().ChargeWrite(text.size()); });
+  std::ofstream out(ManifestPath(), std::ios::app);
+  if (!out.good()) {
+    throw SncubeIoError("checkpoint: cannot append manifest");
+  }
+  out << text;
+  out.flush();
+  if (!out.good()) {
+    throw SncubeIoError("checkpoint: short manifest append");
+  }
+}
+
+void CheckpointManager::LoadPartition(Comm& comm, int index, CubeResult* out) {
+  SNCUBE_CHECK(enabled());
+  const auto entries = ReadManifest();
+  const std::vector<std::uint32_t>* masks = nullptr;
+  for (const auto& [i, m] : entries) {
+    if (i == index) masks = &m;
+  }
+  if (masks == nullptr) {
+    throw SncubeIoError("checkpoint: partition " + std::to_string(index) +
+                        " not recorded complete for rank " +
+                        std::to_string(rank_));
+  }
+  for (std::uint32_t mask : *masks) {
+    const ViewId id(mask);
+    const auto path = ViewPath(index, id);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      throw SncubeIoError("checkpoint: missing view file " + path.string());
+    }
+    WithDiskRetry(comm, opts_, "read", [&] { comm.disk().ChargeRead(size); });
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      throw SncubeIoError("checkpoint: cannot open " + path.string());
+    }
+    ByteBuffer bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      throw SncubeIoError("checkpoint: short read from " + path.string());
+    }
+    ViewResult vr = ParseCheckpointView(bytes, index, id);
+    out->views[id] = std::move(vr);
+  }
+}
+
+}  // namespace sncube

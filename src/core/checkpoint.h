@@ -1,0 +1,83 @@
+// Checkpoint/restart for Procedure 1 (BuildParallelCube).
+//
+// The natural barrier in the parallel cube build is the end of a
+// Di-partition: at that point every rank holds its fully merged shard of
+// every view in the partition and no cross-rank state is in flight. After
+// each completed partition, every rank persists its view shards plus a
+// progress manifest into its own directory under the checkpoint root
+// (`<dir>/rank<r>/`), through the io layer and charged to the rank's
+// DiskModel — so checkpoint overhead appears honestly in simulated time.
+//
+// A restarted build (same checkpoint dir, same inputs, same options) agrees
+// cluster-wide on the resume point — the minimum over ranks of each rank's
+// last complete partition, so a rank that died mid-partition forces that
+// partition to be recomputed everywhere — then restores the agreed prefix
+// from disk and recomputes the rest. Because serialization round-trips rows
+// exactly and the build is deterministic, the restarted result is
+// byte-identical to a fault-free run.
+//
+// Durability protocol: view files of a partition are written first, the
+// manifest line naming them is appended last. A crash between the two leaves
+// an incomplete partition that the manifest never mentions, so restart
+// simply recomputes it (stale files are overwritten). Transient disk errors
+// (SncubeTransientIoError, e.g. from fault injection) are retried under
+// capped exponential backoff — with the backoff charged to the simulated
+// clock — before escalating to SncubeIoError, i.e. a rank failure.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/comm.h"
+#include "seqcube/cube_result.h"
+
+namespace sncube {
+
+struct CheckpointOptions {
+  // Checkpoint root directory; empty disables checkpointing entirely.
+  std::string dir;
+  // Transient disk-error retries per operation before escalating.
+  int max_io_retries = 4;
+  // First backoff (simulated seconds); doubles per retry up to the cap.
+  double backoff_initial_s = 0.05;
+  double backoff_cap_s = 1.0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// One rank's handle on the checkpoint directory. Construction creates the
+// rank directory (when enabled); all disk traffic is charged to the Comm
+// passed per call.
+class CheckpointManager {
+ public:
+  CheckpointManager(const CheckpointOptions& opts, int rank);
+
+  bool enabled() const { return opts_.enabled(); }
+
+  // Largest partition index recorded complete in this rank's manifest, -1
+  // when none. Malformed manifest tails (crash-truncated lines) are treated
+  // as absent, not as errors.
+  int LastCompletePartition() const;
+
+  // Persists every view of `partition_views` as partition `index`, then
+  // appends the manifest line that makes the partition durable.
+  void SavePartition(Comm& comm, int index, const CubeResult& partition_views);
+
+  // Restores partition `index`'s views into `out`. Throws SncubeIoError /
+  // SncubeCorruptionError when the checkpoint is missing or damaged.
+  void LoadPartition(Comm& comm, int index, CubeResult* out);
+
+ private:
+  std::filesystem::path ViewPath(int index, ViewId id) const;
+  std::filesystem::path ManifestPath() const;
+  // Manifest lines parsed as (partition index, view masks), in file order,
+  // stopping at the first malformed line.
+  std::vector<std::pair<int, std::vector<std::uint32_t>>> ReadManifest() const;
+
+  CheckpointOptions opts_;
+  int rank_;
+  std::filesystem::path rank_dir_;
+};
+
+}  // namespace sncube

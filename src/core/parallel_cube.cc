@@ -83,12 +83,38 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
   comm.SetPhase("partition");
   const std::uint64_t global_rows = comm.AllReduceSum(local_raw.size());
 
+  // Checkpoint/restart: agree cluster-wide on the resume point — the last
+  // partition index that EVERY rank recorded complete. A rank that died
+  // mid-partition (or a fresh directory) pulls the minimum down, forcing
+  // that partition to be recomputed everywhere, so all ranks execute the
+  // identical collective sequence after this point.
+  CheckpointManager ckpt(opts.checkpoint, comm.rank());
+  int resume_before = -1;
+  if (ckpt.enabled()) {
+    comm.SetPhase("checkpoint/restore");
+    resume_before =
+        static_cast<int>(comm.AllReduceMin(
+            static_cast<std::uint64_t>(ckpt.LastCompletePartition() + 1))) -
+        1;
+  }
+
   CubeResult output;
   const auto partitions = PartitionViews(selected, d);
   for (int i = 0; i < d; ++i) {
     const auto& part = partitions[i];
     if (part.empty()) continue;
     if (stats != nullptr) stats->partitions += 1;
+
+    if (i <= resume_before) {
+      // This partition was completed by every rank in a previous run:
+      // restore the merged shards from this rank's checkpoint instead of
+      // recomputing. The restored rows are byte-for-byte what the compute
+      // path produced, so the final CubeResult is identical either way.
+      comm.SetPhase("checkpoint/restore");
+      ckpt.LoadPartition(comm, i, &output);
+      if (stats != nullptr) stats->partitions_restored += 1;
+      continue;
+    }
 
     const ViewId root = PartitionRoot(part);
     const std::vector<int> root_order = root.DimList();
@@ -158,6 +184,11 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
     MergeStats merge_stats;
     MergePartitions(comm, cube, root_order, merge_opts, &merge_stats);
     if (stats != nullptr) stats->merge += merge_stats;
+
+    if (ckpt.enabled()) {
+      comm.SetPhase("checkpoint" + tag);
+      ckpt.SavePartition(comm, i, cube);
+    }
 
     for (auto& [id, vr] : cube.views) {
       output.views[id] = std::move(vr);

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/merge_partitions.h"
 #include "net/comm.h"
 #include "relation/schema.h"
@@ -47,12 +48,18 @@ struct ParallelCubeOptions {
   PartialStrategy partial_strategy = PartialStrategy::kPrunedPipesort;
   int sample_capacity_factor = 100;
   bool force_case3 = false;  // ablation: disable the Case-2 overlap path
+  // Checkpoint/restart (see core/checkpoint.h). When `checkpoint.dir` is
+  // set, every rank persists its merged shards after each completed
+  // Di-partition, and a rerun with the same directory resumes from the last
+  // partition completed by ALL ranks. Must be identical across ranks.
+  CheckpointOptions checkpoint;
 };
 
 struct ParallelCubeStats {
   ExecStats exec;        // local cube-construction work
   MergeStats merge;      // Procedure 3 case counts
   int partitions = 0;    // non-empty Di-partitions processed
+  int partitions_restored = 0;  // of those, restored from checkpoint
   int sample_sort_shifts = 0;  // Step 1b global shifts triggered
 };
 

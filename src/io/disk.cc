@@ -12,10 +12,16 @@ std::uint64_t Blocks(std::size_t bytes, std::size_t block_bytes) {
 }  // namespace
 
 void DiskModel::ChargeRead(std::size_t bytes) {
+  if (fault_hook_ != nullptr && fault_hook_->NextOpFails(/*is_write=*/false)) {
+    throw SncubeTransientIoError("injected transient disk read error");
+  }
   blocks_read_ += Blocks(bytes, params_.block_bytes);
 }
 
 void DiskModel::ChargeWrite(std::size_t bytes) {
+  if (fault_hook_ != nullptr && fault_hook_->NextOpFails(/*is_write=*/true)) {
+    throw SncubeTransientIoError("injected transient disk write error");
+  }
   blocks_written_ += Blocks(bytes, params_.block_bytes);
 }
 

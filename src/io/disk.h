@@ -23,6 +23,17 @@ struct DiskParams {
   std::size_t memory_bytes = 64 * 1024 * 1024;
 };
 
+// Decides whether a given disk operation fails transiently. Implemented by
+// the fault injector in src/net; the hook lives here so the io layer stays
+// free of net dependencies. A firing hook makes ChargeRead/ChargeWrite throw
+// SncubeTransientIoError before any blocks are accounted — the op did not
+// happen, and the caller may retry it.
+class DiskFaultHook {
+ public:
+  virtual ~DiskFaultHook() = default;
+  virtual bool NextOpFails(bool is_write) = 0;
+};
+
 // Running totals of block transfers on one processor's local disk.
 class DiskModel {
  public:
@@ -30,7 +41,12 @@ class DiskModel {
 
   const DiskParams& params() const { return params_; }
 
-  // Charges a read/write of `bytes` rounded up to whole blocks.
+  // Installs (or with nullptr removes) a transient-fault hook. Not owned;
+  // must outlive the model or be cleared first.
+  void set_fault_hook(DiskFaultHook* hook) { fault_hook_ = hook; }
+
+  // Charges a read/write of `bytes` rounded up to whole blocks. Throws
+  // SncubeTransientIoError, charging nothing, when the fault hook fires.
   void ChargeRead(std::size_t bytes);
   void ChargeWrite(std::size_t bytes);
 
@@ -46,6 +62,7 @@ class DiskModel {
 
  private:
   DiskParams params_;
+  DiskFaultHook* fault_hook_ = nullptr;
   std::uint64_t blocks_read_ = 0;
   std::uint64_t blocks_written_ = 0;
 };

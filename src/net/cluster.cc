@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/status.h"
 #include "net/internal.h"
@@ -19,10 +21,12 @@ Cluster::Cluster(int p, CostParams cost, DiskParams disk)
 Cluster::~Cluster() = default;
 
 void Cluster::Run(const std::function<void(Comm&)>& program) {
+  last_failure_.reset();
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(p_);
   for (int r = 0; r < p_; ++r) {
-    comms.emplace_back(new Comm(*this, r, p_, cost_, disk_params_));
+    comms.emplace_back(new Comm(*this, r, p_, cost_, disk_params_,
+                                fault_plan_.empty() ? nullptr : &fault_plan_));
     // Carry previous runs' accumulated stats into the endpoint so repeated
     // Run calls aggregate.
     comms.back()->stats_ = stats_[r];
@@ -39,31 +43,75 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
           // Fold disk blocks accrued after the last collective into the
           // final clock; they would otherwise vanish from sim_time.
           comms[r]->FoldDisk(comms[r]->stats_.phases[comms[r]->phase_]);
+        } catch (const ClusterAbortedError&) {
+          // Secondary casualty: this rank was told about someone else's
+          // failure. Record it, but never as the root cause.
+          errors[r] = std::current_exception();
+          shared_->barrier.arrive_and_drop();
         } catch (...) {
           errors[r] = std::current_exception();
-          // Withdraw from all future barriers so surviving ranks don't
-          // deadlock; they may subsequently fail their own checks, which is
-          // fine — the first error below is what callers see.
+          // Publish the root cause (first failure wins) BEFORE withdrawing,
+          // so any rank the withdrawal releases sees it; then withdraw from
+          // all future barriers so surviving ranks don't deadlock. They
+          // observe the abort flag after their next barrier crossing and
+          // unwind with a typed ClusterAbortedError.
+          shared_->MarkFailure(r, comms[r]->supersteps_);
           shared_->barrier.arrive_and_drop();
         }
       });
     }
   }
-  // Re-arm the barrier for the next Run (arrive_and_drop permanently lowers
-  // the count on the old one).
+
   bool any_error = false;
   for (const auto& e : errors) any_error |= (e != nullptr);
-  if (any_error) {
-    shared_ = std::make_unique<Shared>(p_);
+  if (!any_error) {
+    for (int r = 0; r < p_; ++r) {
+      comms[r]->stats_.sim_time_s = comms[r]->local_time_;
+      stats_[r] = comms[r]->stats_;
+    }
+    return;
   }
 
+  // Aborted Run: identify the root cause, preserve flagged partial metrics
+  // for forensics, and re-arm the shared state (arrive_and_drop permanently
+  // lowered the old barrier's count) so the cluster stays reusable. stats_
+  // is deliberately left at its pre-Run value — failed attempts must not
+  // pollute SimTimeSeconds()/BytesSent() of later successful Runs.
+  FailureReport report;
+  report.failed_rank = shared_->failed_rank;
+  report.superstep = shared_->failed_superstep;
+  if (report.failed_rank < 0) {
+    // Only ClusterAbortedError was thrown (a program rethrew one by hand);
+    // fall back to the lowest-ranked thrower.
+    for (int r = 0; r < p_; ++r) {
+      if (errors[r] != nullptr) {
+        report.failed_rank = r;
+        break;
+      }
+    }
+  }
+  try {
+    std::rethrow_exception(errors[report.failed_rank]);
+  } catch (const std::exception& e) {
+    report.message = e.what();
+  } catch (...) {
+    report.message = "unknown exception";
+  }
   for (int r = 0; r < p_; ++r) {
-    comms[r]->stats_.sim_time_s = comms[r]->local_time_;
-    stats_[r] = comms[r]->stats_;
+    RankStats partial = comms[r]->stats_;
+    partial.sim_time_s = comms[r]->local_time_;
+    partial.failed = errors[r] != nullptr;
+    report.partial_stats.push_back(std::move(partial));
   }
-  for (const auto& e : errors) {
-    if (e != nullptr) std::rethrow_exception(e);
-  }
+  shared_ = std::make_unique<Shared>(p_);
+
+  const int failed_rank = report.failed_rank;
+  const std::uint64_t superstep = report.superstep;
+  std::string message = "rank " + std::to_string(failed_rank) +
+                        " failed at superstep " + std::to_string(superstep) +
+                        ": " + report.message;
+  last_failure_ = std::move(report);
+  throw ClusterAbortedError(std::move(message), failed_rank, superstep);
 }
 
 double Cluster::SimTimeSeconds() const {

@@ -15,15 +15,29 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "io/disk.h"
 #include "net/comm.h"
+#include "net/fault.h"
 #include "net/metrics.h"
 #include "net/params.h"
 
 namespace sncube {
+
+// Forensics of an aborted Run: which rank's failure caused the abort, at
+// which superstep, and the partial per-rank metrics of the doomed Run.
+// Failed ranks are flagged (RankStats::failed); none of these numbers are
+// folded into Cluster::stats() or SimTimeSeconds(), which only ever reflect
+// completed Runs.
+struct FailureReport {
+  int failed_rank = -1;
+  std::uint64_t superstep = 0;
+  std::string message;  // root-cause exception text
+  std::vector<RankStats> partial_stats;
+};
 
 class Cluster {
  public:
@@ -38,9 +52,27 @@ class Cluster {
   const CostParams& cost() const { return cost_; }
 
   // Runs `program` on every rank (SPMD). Blocks until all ranks finish.
-  // The first rank exception (by rank order) is rethrown. May be called
-  // repeatedly; metrics accumulate across calls until ResetStats().
+  //
+  // If any rank throws, every surviving rank blocked in (or reaching) a
+  // collective receives a ClusterAbortedError, the partial metrics are
+  // preserved in last_failure(), and Run rethrows a ClusterAbortedError
+  // naming the root-cause rank and superstep. The cluster remains fully
+  // usable: a subsequent Run starts from a fresh barrier and exchange board,
+  // and its metrics are unpolluted by the failed attempt.
+  //
+  // May be called repeatedly; metrics of successful Runs accumulate until
+  // ResetStats().
   void Run(const std::function<void(Comm&)>& program);
+
+  // Faults injected into subsequent Run calls (deterministic given the plan
+  // seed). Superstep indices in kill clauses are per-Run, starting at 0.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  void clear_fault_plan() { fault_plan_ = FaultPlan{}; }
+
+  // Details of the most recent aborted Run; reset on the next Run call.
+  const std::optional<FailureReport>& last_failure() const {
+    return last_failure_;
+  }
 
   // Valid after Run. stats()[r] are rank r's accumulated metrics.
   const std::vector<RankStats>& stats() const { return stats_; }
@@ -62,8 +94,10 @@ class Cluster {
   int p_;
   CostParams cost_;
   DiskParams disk_params_;
+  FaultPlan fault_plan_;
   std::unique_ptr<Shared> shared_;
   std::vector<RankStats> stats_;
+  std::optional<FailureReport> last_failure_;
 };
 
 }  // namespace sncube

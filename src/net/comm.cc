@@ -19,12 +19,18 @@ double TreeDepth(int p) {
 }  // namespace
 
 Comm::Comm(Cluster& cluster, int rank, int size, const CostParams& cost,
-           DiskParams disk_params)
+           DiskParams disk_params, const FaultPlan* fault_plan)
     : cluster_(cluster),
       rank_(rank),
       size_(size),
       cost_(cost),
-      disk_(disk_params) {}
+      disk_(disk_params) {
+  if (fault_plan != nullptr) {
+    fault_ = std::make_unique<FaultInjector>(*fault_plan, rank);
+    slowdown_ = fault_->slowdown();
+    disk_.set_fault_hook(fault_.get());
+  }
+}
 
 void Comm::SetPhase(std::string phase) {
   // Fold disk blocks accrued so far into the phase that caused them; without
@@ -39,7 +45,9 @@ void Comm::FoldDisk(PhaseStats& ps) {
   const std::uint64_t delta = blocks - charged_blocks_;
   charged_blocks_ = blocks;
   if (delta > 0) {
-    const double t = static_cast<double>(delta) * cost_.disk_block_s;
+    // A straggler's disk is slower by the same factor as its CPU.
+    const double t =
+        static_cast<double>(delta) * cost_.disk_block_s * slowdown_;
     local_time_ += t;
     ps.disk_s += t;
     ps.blocks += delta;
@@ -47,6 +55,7 @@ void Comm::FoldDisk(PhaseStats& ps) {
 }
 
 void Comm::ChargeCpu(double seconds) {
+  seconds *= slowdown_;
   local_time_ += seconds;
   stats_.phases[phase_].cpu_s += seconds;
 }
@@ -62,10 +71,21 @@ void Comm::ChargeSortRecords(std::uint64_t n) {
 }
 
 PhaseStats& Comm::SyncPrologue() {
+  // The kill check runs before anything is staged or published: a killed
+  // rank never arrives at this collective's barrier, exactly like a process
+  // dying on entry to an MPI call.
+  if (fault_ != nullptr) fault_->OnCollective(supersteps_);
+  ++supersteps_;
+  ++stats_.supersteps;
   PhaseStats& ps = stats_.phases[phase_];
   FoldDisk(ps);
   cluster_.shared_->published_times[rank_] = local_time_;
   return ps;
+}
+
+void Comm::ArriveAndCheck() {
+  cluster_.shared_->barrier.arrive_and_wait();
+  cluster_.shared_->ThrowIfAborted();
 }
 
 void Comm::AdvanceClock(PhaseStats& ps, std::uint64_t bytes_out,
@@ -107,7 +127,7 @@ std::vector<ByteBuffer> Comm::AllToAllv(std::vector<ByteBuffer> send) {
   for (int dst = 0; dst < size_; ++dst) {
     board[rank_][dst] = std::move(send[dst]);
   }
-  cluster_.shared_->barrier.arrive_and_wait();  // A: board fully staged
+  ArriveAndCheck();  // A: board fully staged
 
   // Size-scan phase: cells are stable, everyone reads sizes concurrently.
   std::uint64_t bytes_out = 0;
@@ -120,14 +140,14 @@ std::vector<ByteBuffer> Comm::AllToAllv(std::vector<ByteBuffer> send) {
     if (!board[rank_][k].empty()) ++msgs;
   }
   AdvanceClock(ps, bytes_out, bytes_in, msgs, /*latency_multiplier=*/1.0);
-  cluster_.shared_->barrier.arrive_and_wait();  // B: sizes consumed
+  ArriveAndCheck();  // B: sizes consumed
 
   std::vector<ByteBuffer> recv(size_);
   for (int src = 0; src < size_; ++src) {
     recv[src] = std::move(board[src][rank_]);
     board[src][rank_].clear();
   }
-  cluster_.shared_->barrier.arrive_and_wait();  // C: board reusable
+  ArriveAndCheck();  // C: board reusable
   return recv;
 }
 
@@ -141,7 +161,7 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
       board[rank_][dst] = msg;  // copy: same payload to every destination
     }
   }
-  cluster_.shared_->barrier.arrive_and_wait();  // A
+  ArriveAndCheck();  // A
 
   // Any non-root cell of the root's row holds the payload (all copies are
   // identical). With p = 1 there is nothing staged and the cost is zero.
@@ -163,7 +183,7 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
   } else {
     ps.bytes_received += payload;
   }
-  cluster_.shared_->barrier.arrive_and_wait();  // B
+  ArriveAndCheck();  // B
 
   ByteBuffer result;
   if (rank_ == root) {
@@ -174,7 +194,7 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
     result = std::move(board[root][rank_]);
     board[root][rank_].clear();
   }
-  cluster_.shared_->barrier.arrive_and_wait();  // C
+  ArriveAndCheck();  // C
   return result;
 }
 
@@ -210,6 +230,15 @@ std::uint64_t Comm::AllReduceMax(std::uint64_t v) {
   return m;
 }
 
+std::uint64_t Comm::AllReduceMin(std::uint64_t v) {
+  ByteBuffer b;
+  WirePut(b, v);
+  auto all = AllGather(std::move(b));
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  for (auto& buf : all) m = std::min(m, WireReader(buf).Get<std::uint64_t>());
+  return m;
+}
+
 double Comm::AllReduceMax(double v) {
   ByteBuffer b;
   WirePut(b, v);
@@ -221,13 +250,13 @@ double Comm::AllReduceMax(double v) {
 
 void Comm::Barrier() {
   PhaseStats& ps = SyncPrologue();
-  cluster_.shared_->barrier.arrive_and_wait();  // A
+  ArriveAndCheck();  // A
   double t_base = 0;
   for (double t : cluster_.shared_->published_times) t_base = std::max(t_base, t);
   const double t_new = t_base + TreeDepth(size_) * cost_.net_latency_s;
   ps.net_s += t_new - local_time_;
   local_time_ = t_new;
-  cluster_.shared_->barrier.arrive_and_wait();  // B: times consumed
+  ArriveAndCheck();  // B: times consumed
 }
 
 }  // namespace sncube

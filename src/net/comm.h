@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/disk.h"
+#include "net/fault.h"
 #include "net/metrics.h"
 #include "net/params.h"
 #include "relation/serialize.h"
@@ -70,9 +72,14 @@ class Comm {
 
   std::uint64_t AllReduceSum(std::uint64_t v);
   std::uint64_t AllReduceMax(std::uint64_t v);
+  std::uint64_t AllReduceMin(std::uint64_t v);
   double AllReduceMax(double v);
 
   void Barrier();
+
+  // Collectives this rank has entered in the current Run (the superstep
+  // index the fault injector and abort reports count in).
+  std::uint64_t supersteps() const { return supersteps_; }
 
   // Metrics accumulated so far for this rank (phase → stats).
   const RankStats& stats() const { return stats_; }
@@ -80,25 +87,33 @@ class Comm {
  private:
   friend class Cluster;
   Comm(Cluster& cluster, int rank, int size, const CostParams& cost,
-       DiskParams disk_params);
+       DiskParams disk_params, const FaultPlan* fault_plan);
 
   // Converts disk blocks accrued since the last fold into simulated seconds
   // on the local clock, attributed to `ps`.
   void FoldDisk(PhaseStats& ps);
-  // Folds accrued disk blocks into the local clock, publishes the local
-  // clock, and stages outgoing data. Returns a reference to current phase
-  // stats.
+  // Entry gate of every collective: runs the fault injector's kill check,
+  // counts the superstep, folds accrued disk blocks into the local clock,
+  // publishes the local clock, and stages outgoing data. Returns a reference
+  // to current phase stats.
   PhaseStats& SyncPrologue();
   // Advances every rank's clock identically given the published byte counts.
   void AdvanceClock(PhaseStats& ps, std::uint64_t bytes_out,
                     std::uint64_t bytes_in, std::uint64_t msgs,
                     double latency_multiplier);
+  // Barrier crossing that propagates cluster aborts: throws a typed
+  // ClusterAbortedError when some rank failed instead of letting this rank
+  // run on into mismatched supersteps.
+  void ArriveAndCheck();
 
   Cluster& cluster_;
   int rank_;
   int size_;
   CostParams cost_;
   DiskModel disk_;
+  std::unique_ptr<FaultInjector> fault_;  // null when no plan is active
+  double slowdown_ = 1.0;                 // straggler multiplier (>= 1)
+  std::uint64_t supersteps_ = 0;          // collectives entered this Run
   std::uint64_t charged_blocks_ = 0;  // blocks already folded into the clock
   double local_time_ = 0;
   std::string phase_ = "default";

@@ -1,0 +1,103 @@
+#include "net/fault.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+[[noreturn]] void ParseFail(const std::string& clause, const char* why) {
+  throw SncubeError("bad fault plan clause \"" + clause + "\": " + why);
+}
+
+// Parses "<int><sep><number>" as used by every clause body.
+void SplitRankValue(const std::string& clause, const std::string& body,
+                    char sep, int* rank, std::string* value) {
+  const auto at = body.find(sep);
+  if (at == std::string::npos || at == 0 || at + 1 >= body.size()) {
+    ParseFail(clause, "expected <rank><sep><value>");
+  }
+  char* end = nullptr;
+  const long r = std::strtol(body.c_str(), &end, 10);
+  if (end != body.c_str() + at || r < 0) ParseFail(clause, "bad rank");
+  *rank = static_cast<int>(r);
+  *value = body.substr(at + 1);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream ss(spec);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    if (clause.empty()) continue;
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) ParseFail(clause, "missing ':'");
+    const std::string kind = clause.substr(0, colon);
+    const std::string body = clause.substr(colon + 1);
+    if (kind == "kill") {
+      Kill k;
+      std::string value;
+      SplitRankValue(clause, body, '@', &k.rank, &value);
+      k.at_superstep = std::strtoull(value.c_str(), nullptr, 10);
+      plan.kills.push_back(k);
+    } else if (kind == "slow") {
+      Straggler s;
+      std::string value;
+      SplitRankValue(clause, body, 'x', &s.rank, &value);
+      s.factor = std::strtod(value.c_str(), nullptr);
+      if (s.factor < 1.0) ParseFail(clause, "factor must be >= 1");
+      plan.stragglers.push_back(s);
+    } else if (kind == "diskerr") {
+      DiskErrors de;
+      std::string value;
+      SplitRankValue(clause, body, ':', &de.rank, &value);
+      de.rate = std::strtod(value.c_str(), nullptr);
+      if (de.rate < 0.0 || de.rate > 1.0) ParseFail(clause, "rate not in [0,1]");
+      plan.disk_errors.push_back(de);
+    } else if (kind == "seed") {
+      plan.seed = std::strtoull(body.c_str(), nullptr, 10);
+    } else {
+      ParseFail(clause, "unknown clause kind");
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int rank)
+    : rank_(rank),
+      // Independent deterministic stream per rank; the 64-bit odd multiplier
+      // spreads adjacent ranks across seed space.
+      rng_(plan.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(rank) * 0xBF58476D1CE4E5B9ULL + 1) {
+  for (const auto& k : plan.kills) {
+    if (k.rank != rank) continue;
+    // Earliest kill wins when several target the same rank.
+    if (!has_kill_ || k.at_superstep < kill_at_) kill_at_ = k.at_superstep;
+    has_kill_ = true;
+  }
+  for (const auto& s : plan.stragglers) {
+    if (s.rank == rank) slowdown_ *= s.factor;
+  }
+  for (const auto& de : plan.disk_errors) {
+    if (de.rank == rank) disk_error_rate_ = de.rate;
+  }
+}
+
+void FaultInjector::OnCollective(std::uint64_t superstep) {
+  if (has_kill_ && superstep == kill_at_) {
+    throw InjectedFaultError("fault injection: rank " + std::to_string(rank_) +
+                             " killed at superstep " +
+                             std::to_string(superstep));
+  }
+}
+
+bool FaultInjector::NextOpFails(bool /*is_write*/) {
+  if (disk_error_rate_ <= 0.0) return false;
+  return rng_.NextDouble() < disk_error_rate_;
+}
+
+}  // namespace sncube

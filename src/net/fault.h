@@ -1,0 +1,84 @@
+// Deterministic fault injection for the simulated shared-nothing cluster.
+//
+// A FaultPlan describes, ahead of a Run, every fault the cluster should
+// experience: ranks killed on entry to their k-th collective, straggler
+// ranks whose CPU and disk work is stretched by a multiplier (visible in the
+// BSP sim clock), and per-rank transient disk error rates injected into
+// DiskModel charge sites. All randomness derives from the plan seed and the
+// rank, so a given (plan, program) pair reproduces the identical failure
+// bit-for-bit — which is what lets tests assert that a killed-and-restarted
+// build equals a fault-free one.
+//
+// Plans are parseable from a compact spec string (CLI `--fault-plan`):
+//
+//   kill:<rank>@<superstep>   kill rank on entry to its superstep-th
+//                             collective of the Run (0-based)
+//   slow:<rank>x<factor>      multiply rank's CPU+disk simulated time
+//   diskerr:<rank>:<rate>     each disk op fails transiently w.p. rate
+//   seed:<n>                  RNG seed for the disk-error draws
+//
+// joined with ';', e.g. "kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/disk.h"
+
+namespace sncube {
+
+struct FaultPlan {
+  struct Kill {
+    int rank = 0;
+    std::uint64_t at_superstep = 0;  // collective index within the Run
+  };
+  struct Straggler {
+    int rank = 0;
+    double factor = 1.0;  // >= 1: multiplies CPU and disk simulated seconds
+  };
+  struct DiskErrors {
+    int rank = 0;
+    double rate = 0.0;  // per-operation transient failure probability
+  };
+
+  std::vector<Kill> kills;
+  std::vector<Straggler> stragglers;
+  std::vector<DiskErrors> disk_errors;
+  std::uint64_t seed = 0;
+
+  bool empty() const {
+    return kills.empty() && stragglers.empty() && disk_errors.empty();
+  }
+
+  // Parses the spec grammar above; throws SncubeError on malformed input.
+  static FaultPlan Parse(const std::string& spec);
+};
+
+// One rank's view of the plan, constructed per Run. Consulted by Comm at
+// every collective entry and, via the DiskFaultHook interface, by the rank's
+// DiskModel on every charge.
+class FaultInjector : public DiskFaultHook {
+ public:
+  FaultInjector(const FaultPlan& plan, int rank);
+
+  // Throws InjectedFaultError when the plan kills this rank at `superstep`.
+  void OnCollective(std::uint64_t superstep);
+
+  // Straggler multiplier for this rank (1.0 when not a straggler).
+  double slowdown() const { return slowdown_; }
+
+  // DiskFaultHook: deterministic per-op transient failure decision.
+  bool NextOpFails(bool is_write) override;
+
+ private:
+  int rank_;
+  bool has_kill_ = false;
+  std::uint64_t kill_at_ = 0;
+  double slowdown_ = 1.0;
+  double disk_error_rate_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace sncube

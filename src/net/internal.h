@@ -2,10 +2,14 @@
 // library's .cc files — not part of the public API.
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <cstdint>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "net/cluster.h"
 #include "relation/serialize.h"
 
@@ -17,6 +21,13 @@ namespace sncube {
 // mover (after barrier B); between A and B all ranks may concurrently read
 // sizes. The barriers provide the required happens-before edges, so no
 // per-cell locking is needed.
+//
+// Failure protocol: a rank whose program throws records itself here (first
+// failure wins) and withdraws from the barrier, which releases any ranks
+// blocked in a collective; those ranks observe the abort flag right after
+// every barrier crossing and throw ClusterAbortedError instead of running on
+// into mismatched supersteps. A Shared that witnessed a failure is discarded
+// and rebuilt by Cluster::Run, so the cluster stays reusable.
 struct Cluster::Shared {
   explicit Shared(int p) : barrier(p), board(p, std::vector<ByteBuffer>(p)),
                            published_times(p, 0.0) {}
@@ -24,6 +35,30 @@ struct Cluster::Shared {
   std::barrier<> barrier;
   std::vector<std::vector<ByteBuffer>> board;
   std::vector<double> published_times;
+
+  std::atomic<bool> aborted{false};
+  std::mutex failure_mu;
+  int failed_rank = -1;            // written once, before `aborted` is set
+  std::uint64_t failed_superstep = 0;
+
+  void MarkFailure(int rank, std::uint64_t superstep) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (failed_rank != -1) return;  // first failure is the root cause
+    failed_rank = rank;
+    failed_superstep = superstep;
+    aborted.store(true, std::memory_order_release);
+  }
+
+  // Called by surviving ranks after every barrier crossing. The acquire load
+  // pairs with MarkFailure's release store, so the rank/superstep fields —
+  // written exactly once, before the store — are stable when read here.
+  void ThrowIfAborted() const {
+    if (!aborted.load(std::memory_order_acquire)) return;
+    throw ClusterAbortedError(
+        "cluster aborted: rank " + std::to_string(failed_rank) +
+            " failed at superstep " + std::to_string(failed_superstep),
+        failed_rank, failed_superstep);
+  }
 };
 
 }  // namespace sncube

@@ -37,6 +37,12 @@ struct RankStats {
   std::map<std::string, PhaseStats> phases;
   // Final simulated local clock (seconds since Run began).
   double sim_time_s = 0;
+  // Collectives this rank entered (accumulates across Runs like phases).
+  std::uint64_t supersteps = 0;
+  // True only inside Cluster::FailureReport::partial_stats, for ranks whose
+  // program threw: their clocks and counters stop wherever the failure hit
+  // and must not be read as if the rank finished.
+  bool failed = false;
 
   PhaseStats Total() const {
     PhaseStats t;

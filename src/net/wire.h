@@ -35,7 +35,11 @@ void WirePutVector(ByteBuffer& buf, const std::vector<T>& v) {
   if (!v.empty()) std::memcpy(buf.data() + off, v.data(), v.size() * sizeof(T));
 }
 
-// Sequential reader over a ByteBuffer.
+// Sequential reader over a ByteBuffer. Buffers may come from untrusted or
+// damaged sources (files, mutated test inputs), so every accessor is
+// bounds-checked in overflow-safe form — `remaining()` comparisons, never
+// `pos_ + n` arithmetic that could wrap — and throws SncubeCorruptionError
+// on truncated or oversized payloads instead of reading out of bounds.
 class WireReader {
  public:
   explicit WireReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
@@ -43,7 +47,9 @@ class WireReader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T Get() {
-    SNCUBE_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(), "wire underrun");
+    if (sizeof(T) > remaining()) {
+      throw SncubeCorruptionError("wire underrun: truncated scalar");
+    }
     T value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -54,16 +60,21 @@ class WireReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> GetVector() {
     const auto n = Get<std::uint64_t>();
-    SNCUBE_CHECK_MSG(pos_ + n * sizeof(T) <= bytes_.size(), "wire underrun");
-    std::vector<T> v(n);
+    // Divide instead of multiplying: n * sizeof(T) can wrap for garbage n.
+    if (n > remaining() / sizeof(T)) {
+      throw SncubeCorruptionError("wire underrun: vector length exceeds buffer");
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
     if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return v;
   }
 
   // Returns a view of the next n raw bytes and advances past them.
   std::span<const std::byte> GetBytes(std::size_t n) {
-    SNCUBE_CHECK_MSG(pos_ + n <= bytes_.size(), "wire underrun");
+    if (n > remaining()) {
+      throw SncubeCorruptionError("wire underrun: truncated byte range");
+    }
     const auto view = bytes_.subspan(pos_, n);
     pos_ += n;
     return view;

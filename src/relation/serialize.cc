@@ -1,6 +1,7 @@
 #include "relation/serialize.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/status.h"
 
@@ -15,7 +16,9 @@ void SerializeRows(const Relation& rel, std::size_t begin, std::size_t end,
   std::byte* dst = out.data() + offset;
   for (std::size_t row = begin; row < end; ++row) {
     const auto keys = rel.RowKeys(row);
-    std::memcpy(dst, keys.data(), keys.size_bytes());
+    // Width-0 rows (the {all} view) have a null key span; memcpy's pointer
+    // arguments must be non-null even for size 0.
+    if (!keys.empty()) std::memcpy(dst, keys.data(), keys.size_bytes());
     dst += keys.size_bytes();
     const Measure m = rel.measure(row);
     std::memcpy(dst, &m, sizeof(m));
@@ -32,14 +35,18 @@ ByteBuffer SerializeRelation(const Relation& rel) {
 
 void DeserializeRows(std::span<const std::byte> bytes, Relation& out) {
   const std::size_t row_bytes = out.RowBytes();
-  SNCUBE_CHECK_MSG(bytes.size() % row_bytes == 0,
-                   "byte stream is not a whole number of rows");
+  if (bytes.size() % row_bytes != 0) {
+    throw SncubeCorruptionError(
+        "row stream is not a whole number of rows (got " +
+        std::to_string(bytes.size()) + " bytes, row size " +
+        std::to_string(row_bytes) + ")");
+  }
   const std::size_t rows = bytes.size() / row_bytes;
   std::vector<Key> keys(static_cast<std::size_t>(out.width()));
   const std::byte* src = bytes.data();
   out.Reserve(out.size() + rows);
   for (std::size_t r = 0; r < rows; ++r) {
-    std::memcpy(keys.data(), src, keys.size() * sizeof(Key));
+    if (!keys.empty()) std::memcpy(keys.data(), src, keys.size() * sizeof(Key));
     src += keys.size() * sizeof(Key);
     Measure m;
     std::memcpy(&m, src, sizeof(m));

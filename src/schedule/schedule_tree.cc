@@ -204,10 +204,21 @@ ScheduleTree ScheduleTree::Deserialize(const ByteBuffer& bytes) {
     n.order.assign(order.begin(), order.end());
     tree.nodes_.push_back(std::move(n));
   }
-  SNCUBE_CHECK(r.AtEnd());
-  // Rebuild children lists from parents.
+  if (!r.AtEnd()) {
+    throw SncubeCorruptionError("schedule tree: trailing bytes");
+  }
+  // Rebuild children lists from parents. Parent indices come off the wire,
+  // so validate before indexing: node 0 is the root (parent -1), every later
+  // node must point at an earlier one (topological order).
+  if (!tree.nodes_.empty() && tree.nodes_[0].parent != -1) {
+    throw SncubeCorruptionError("schedule tree: node 0 is not a root");
+  }
   for (int i = 1; i < tree.size(); ++i) {
-    tree.nodes_[tree.nodes_[i].parent].children.push_back(i);
+    const int parent = tree.nodes_[i].parent;
+    if (parent < 0 || parent >= i) {
+      throw SncubeCorruptionError("schedule tree: parent index out of range");
+    }
+    tree.nodes_[parent].children.push_back(i);
   }
   return tree;
 }

@@ -84,32 +84,49 @@ void ViewStore::SaveCube(const CubeResult& cube, const Schema& schema) const {
 
 ViewResult ViewStore::Load(ViewId id) const {
   std::ifstream in(PathFor(id), std::ios::binary);
-  SNCUBE_CHECK_MSG(in.good(), "view file missing");
+  if (!in.good()) {
+    throw SncubeIoError("view file missing: " + PathFor(id).string());
+  }
   in.seekg(0, std::ios::end);
   const auto size = static_cast<std::size_t>(in.tellg());
   in.seekg(0, std::ios::beg);
   ByteBuffer bytes(size);
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(size));
-  SNCUBE_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(size),
-                   "short read from view file");
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw SncubeIoError("short read from view file");
+  }
 
   WireReader reader(bytes);
-  SNCUBE_CHECK_MSG(reader.Get<std::uint32_t>() == kMagic, "bad view magic");
-  SNCUBE_CHECK_MSG(reader.Get<std::uint32_t>() == kVersion,
-                   "unsupported view version");
+  if (reader.Get<std::uint32_t>() != kMagic) {
+    throw SncubeCorruptionError("bad view magic");
+  }
+  if (reader.Get<std::uint32_t>() != kVersion) {
+    throw SncubeCorruptionError("unsupported view version");
+  }
   ViewResult vr;
   vr.id = ViewId(reader.Get<std::uint32_t>());
-  SNCUBE_CHECK_MSG(vr.id == id, "view file holds a different view");
+  if (vr.id != id) {
+    throw SncubeCorruptionError("view file holds a different view");
+  }
   const auto width = reader.Get<std::uint32_t>();
-  SNCUBE_CHECK(width == static_cast<std::uint32_t>(id.dim_count()));
+  if (width != static_cast<std::uint32_t>(id.dim_count())) {
+    throw SncubeCorruptionError("view width disagrees with its mask");
+  }
   const auto order = reader.GetVector<std::uint8_t>();
   vr.order.assign(order.begin(), order.end());
   const auto rows = reader.Get<std::uint64_t>();
   vr.rel = Relation(static_cast<int>(width));
+  // rows is untrusted: bound it by the remaining payload before the
+  // rows * RowBytes() multiplication below can wrap.
+  if (rows > reader.remaining() / vr.rel.RowBytes()) {
+    throw SncubeCorruptionError("view row count exceeds file payload");
+  }
   vr.rel.Reserve(rows);
   DeserializeRows(reader.GetBytes(rows * vr.rel.RowBytes()), vr.rel);
-  SNCUBE_CHECK_MSG(reader.AtEnd(), "trailing bytes in view file");
+  if (!reader.AtEnd()) {
+    throw SncubeCorruptionError("trailing bytes in view file");
+  }
   return vr;
 }
 

@@ -11,7 +11,7 @@ std::string StatsSnapshot::ToJson() const {
   std::ostringstream os;
   os << "{\"accepted\":" << accepted << ",\"rejected\":" << rejected
      << ",\"completed\":" << completed << ",\"failed\":" << failed
-     << ",\"queue_depth\":" << queue_depth
+     << ",\"timed_out\":" << timed_out << ",\"queue_depth\":" << queue_depth
      << ",\"queue_depth_max\":" << queue_depth_max
      << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"inserts\":" << cache.inserts
@@ -64,7 +64,8 @@ std::shared_ptr<const QueryAnswer> CubeServer::Execute(const Query& query) {
   std::shared_ptr<const QueryAnswer> result;
   bool ready = false;
   const SubmitStatus st =
-      Submit(query, [&](std::shared_ptr<const QueryAnswer> answer) {
+      Submit(query, [&](std::shared_ptr<const QueryAnswer> answer,
+                        QueryOutcome /*outcome*/) {
         std::lock_guard<std::mutex> lock(mu);
         result = std::move(answer);
         ready = true;
@@ -91,6 +92,17 @@ void CubeServer::WorkerLoop() {
 }
 
 void CubeServer::Process(Request& req) {
+  // Deadline check at dequeue: a request that already waited past its
+  // deadline is dropped without doing the query work — the client stopped
+  // waiting, so executing it would only delay requests that can still make
+  // their deadlines.
+  if (options_.deadline.count() > 0 &&
+      std::chrono::steady_clock::now() - req.enqueued > options_.deadline) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    if (req.done) req.done(nullptr, QueryOutcome::kTimedOut);
+    return;
+  }
+
   std::shared_ptr<const QueryAnswer> answer = cache_.Get(req.key);
   if (answer == nullptr) {
     try {
@@ -107,12 +119,14 @@ void CubeServer::Process(Request& req) {
                       std::chrono::steady_clock::now() - req.enqueued)
                       .count();
   latency_.Record(static_cast<std::uint64_t>(us));
+  const QueryOutcome outcome =
+      answer == nullptr ? QueryOutcome::kFailed : QueryOutcome::kOk;
   if (answer == nullptr) {
     failed_.fetch_add(1, std::memory_order_relaxed);
   } else {
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (req.done) req.done(std::move(answer));
+  if (req.done) req.done(std::move(answer), outcome);
 }
 
 void CubeServer::Shutdown() {
@@ -138,6 +152,7 @@ StatsSnapshot CubeServer::Stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.queue_depth = queue_.size();

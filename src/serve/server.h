@@ -48,6 +48,12 @@ struct ServerOptions {
   std::size_t queue_depth = 256;            // max queued requests (>= 1)
   std::size_t cache_bytes = 64u << 20;      // result cache budget; 0 = off
   int cache_shards = 16;
+  // Per-request deadline, measured from Submit. A request still queued when
+  // its deadline expires is dropped at dequeue: its callback runs with
+  // kTimedOut and a null answer, and no query work is done for it. Zero
+  // disables deadlines. Under overload this sheds exactly the requests whose
+  // answers the client has already given up on.
+  std::chrono::milliseconds deadline{0};
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -56,12 +62,20 @@ enum class SubmitStatus : std::uint8_t {
   kShutdown,   // server is stopping; no new work accepted
 };
 
+// How an accepted request terminated (second callback argument).
+enum class QueryOutcome : std::uint8_t {
+  kOk,        // answer is non-null
+  kFailed,    // execution threw (e.g. no covering view); answer is null
+  kTimedOut,  // deadline expired before a worker picked it up; answer is null
+};
+
 // Point-in-time view of the server's counters, printable as JSON.
 struct StatsSnapshot {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;        // queries that threw (e.g. no covering view)
+  std::uint64_t timed_out = 0;     // dropped at dequeue: deadline expired
   std::uint64_t queue_depth = 0;   // current
   std::uint64_t queue_depth_max = 0;  // configured bound
   CacheStats cache;
@@ -86,10 +100,12 @@ class CubeServer {
   CubeServer& operator=(const CubeServer&) = delete;
 
   // Asynchronous entry point. On kAccepted the callback runs exactly once on
-  // a worker thread with the answer (cached or freshly computed); on any
-  // error inside execution the callback runs with answer == nullptr. On
-  // kRejected/kShutdown the callback never runs.
-  using Callback = std::function<void(std::shared_ptr<const QueryAnswer>)>;
+  // a worker thread with the answer (cached or freshly computed) and the
+  // outcome; on execution error or an expired deadline the answer is nullptr
+  // and the outcome says which. On kRejected/kShutdown the callback never
+  // runs.
+  using Callback =
+      std::function<void(std::shared_ptr<const QueryAnswer>, QueryOutcome)>;
   SubmitStatus Submit(const Query& query, Callback done);
 
   // Synchronous convenience: Submit + wait. Returns nullptr when the request
@@ -128,6 +144,7 @@ class CubeServer {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -8,11 +8,14 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/generator.h"
 #include "lattice/lattice.h"
+#include "net/wire.h"
 #include "query/engine.h"
 #include "schedule/partial.h"
 #include "schedule/pipesort.h"
+#include "schedule/schedule_tree.h"
 #include "seqcube/seq_cube.h"
 
 namespace sncube {
@@ -142,6 +145,86 @@ TEST_P(QueryFuzz, RandomQueriesMatchBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Deserialization fuzz: truncated, bit-flipped, and garbage byte buffers fed
+// to every wire-format parser must either parse (mutations can cancel out)
+// or throw a typed SncubeError — never crash, loop, or read out of bounds.
+
+class CorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+ByteBuffer Mutate(Rng& rng, ByteBuffer b) {
+  switch (rng.Below(3)) {
+    case 0:  // truncate
+      b.resize(rng.Below(b.size() + 1));
+      break;
+    case 1:  // flip bits in one byte
+      if (!b.empty()) {
+        b[rng.Below(b.size())] ^= static_cast<std::byte>(1 + rng.Below(255));
+      }
+      break;
+    default:  // append garbage
+      for (std::size_t i = 1 + rng.Below(16); i > 0; --i) {
+        b.push_back(static_cast<std::byte>(rng.Below(256)));
+      }
+      break;
+  }
+  return b;
+}
+
+TEST_P(CorruptionFuzz, MutatedBuffersThrowTypedErrors) {
+  Rng rng(7000 + static_cast<std::uint64_t>(GetParam()));
+
+  // A genuine schedule-tree buffer to mutate.
+  const Schema schema({16, 8, 4, 3});
+  const AnalyticEstimator est(schema, 50000);
+  const auto parts = PartitionViews(AllViews(4), 4);
+  const ViewId root = PartitionRoot(parts[0]);
+  const ByteBuffer tree_bytes =
+      BuildPipesortTree(parts[0], root, root.DimList(), est).Serialize();
+
+  // A genuine row payload to mutate.
+  Relation rel(3);
+  for (int i = 0; i < 40; ++i) {
+    rel.Append(std::vector<Key>{static_cast<Key>(rng.Below(100)),
+                                static_cast<Key>(rng.Below(50)),
+                                static_cast<Key>(rng.Below(10))},
+               static_cast<Measure>(rng.Below(1000)));
+  }
+  const ByteBuffer row_bytes = SerializeRelation(rel);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    try {
+      ScheduleTree::Deserialize(Mutate(rng, tree_bytes));
+    } catch (const SncubeError&) {
+      // Typed rejection is the contract; silence is a lucky benign mutation.
+    }
+    try {
+      Relation out(3);
+      DeserializeRows(Mutate(rng, row_bytes), out);
+    } catch (const SncubeError&) {
+    }
+    // Pure garbage through the raw wire primitives.
+    ByteBuffer garbage;
+    for (std::size_t i = rng.Below(64); i > 0; --i) {
+      garbage.push_back(static_cast<std::byte>(rng.Below(256)));
+    }
+    try {
+      WireReader r(garbage);
+      while (!r.AtEnd()) {
+        switch (rng.Below(4)) {
+          case 0: r.Get<std::uint64_t>(); break;
+          case 1: r.GetVector<std::uint32_t>(); break;
+          case 2: r.GetBytes(1 + rng.Below(128)); break;
+          default: r.Get<std::uint8_t>(); break;
+        }
+      }
+    } catch (const SncubeError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace sncube

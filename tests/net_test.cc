@@ -222,14 +222,29 @@ TEST(Cluster, ChargeSortRecordsUsesNLogN) {
   });
 }
 
-TEST(Cluster, RankExceptionPropagates) {
+TEST(Cluster, RankExceptionPropagatesNamingTheRank) {
   Cluster cluster(3);
-  EXPECT_THROW(cluster.Run([&](Comm& comm) {
-    if (comm.rank() == 1) throw SncubeError("rank 1 exploded");
-    // Other ranks proceed through a collective without deadlocking.
-    comm.AllReduceSum(1);
-  }),
-               SncubeError);
+  try {
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == 1) throw SncubeError("rank 1 exploded");
+      // Other ranks proceed through a collective without deadlocking.
+      comm.AllReduceSum(1);
+    });
+    FAIL() << "Run must rethrow the rank failure";
+  } catch (const ClusterAbortedError& e) {
+    EXPECT_EQ(e.failed_rank(), 1);
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+  }
+  // Forensics: the failure report flags exactly the ranks that died, and the
+  // cluster's accumulated stats stay at their pre-Run values.
+  ASSERT_TRUE(cluster.last_failure().has_value());
+  const FailureReport& report = *cluster.last_failure();
+  EXPECT_EQ(report.failed_rank, 1);
+  ASSERT_EQ(report.partial_stats.size(), 3u);
+  EXPECT_TRUE(report.partial_stats[1].failed);
+  EXPECT_EQ(cluster.BytesSent(), 0u);
+  EXPECT_DOUBLE_EQ(cluster.SimTimeSeconds(), 0.0);
 }
 
 TEST(Cluster, RunTwiceAccumulatesStats) {

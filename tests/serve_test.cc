@@ -207,7 +207,7 @@ TEST_F(ServeFixture, QueueFullRejectsInsteadOfBlocking) {
   // First submit occupies the worker (blocking callback), next two fill the
   // queue; the one after that must be rejected.
   std::atomic<int> done{0};
-  auto blocker = [&](std::shared_ptr<const QueryAnswer>) {
+  auto blocker = [&](std::shared_ptr<const QueryAnswer>, QueryOutcome) {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return release; });
     done.fetch_add(1);
@@ -217,7 +217,7 @@ TEST_F(ServeFixture, QueueFullRejectsInsteadOfBlocking) {
   // capacity is deterministic below.
   while (server.Stats().queue_depth != 0) std::this_thread::yield();
 
-  auto counter = [&](std::shared_ptr<const QueryAnswer>) {
+  auto counter = [&](std::shared_ptr<const QueryAnswer>, QueryOutcome) {
     done.fetch_add(1);
   };
   ASSERT_EQ(server.Submit(q, counter), SubmitStatus::kAccepted);
@@ -233,6 +233,66 @@ TEST_F(ServeFixture, QueueFullRejectsInsteadOfBlocking) {
   server.Shutdown();  // graceful: drains the two queued requests
   EXPECT_EQ(done.load(), 3);
   EXPECT_EQ(server.Submit(q, counter), SubmitStatus::kShutdown);
+}
+
+TEST_F(ServeFixture, DeadlineExpiredRequestTimesOutWithoutExecuting) {
+  // One worker, held on a latch; a request queued behind it waits past the
+  // configured deadline and must be dropped at dequeue: callback runs with
+  // kTimedOut and a null answer, no query work is done for it.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  CubeServer server(cube, {.workers = 1,
+                           .queue_depth = 8,
+                           .deadline = std::chrono::milliseconds(20)});
+  Query q;
+  q.group_by = ViewId::FromDims({0});
+
+  ASSERT_EQ(server.Submit(q,
+                          [&](std::shared_ptr<const QueryAnswer>,
+                              QueryOutcome) {
+                            std::unique_lock<std::mutex> lock(mu);
+                            cv.wait(lock, [&] { return release; });
+                          }),
+            SubmitStatus::kAccepted);
+  while (server.Stats().queue_depth != 0) std::this_thread::yield();
+
+  std::shared_ptr<const QueryAnswer> late_answer;
+  QueryOutcome late_outcome = QueryOutcome::kOk;
+  std::atomic<bool> late_done{false};
+  ASSERT_EQ(server.Submit(q,
+                          [&](std::shared_ptr<const QueryAnswer> a,
+                              QueryOutcome o) {
+                            late_answer = std::move(a);
+                            late_outcome = o;
+                            late_done.store(true);
+                          }),
+            SubmitStatus::kAccepted);
+
+  // Let the queued request age past its deadline, then free the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  server.Shutdown();
+
+  ASSERT_TRUE(late_done.load());
+  EXPECT_EQ(late_answer, nullptr);
+  EXPECT_EQ(late_outcome, QueryOutcome::kTimedOut);
+  const StatsSnapshot s = server.Stats();
+  EXPECT_EQ(s.timed_out, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  // Stats JSON carries the new counter.
+  EXPECT_NE(s.ToJson().find("\"timed_out\":1"), std::string::npos);
+
+  // A fresh server with the same deadline but an idle worker serves the
+  // identical query fine — the deadline only sheds requests that waited.
+  CubeServer fresh(cube, {.workers = 1,
+                          .deadline = std::chrono::milliseconds(5000)});
+  EXPECT_NE(fresh.Execute(q), nullptr);
 }
 
 TEST_F(ServeFixture, ConcurrentClientsMatchSingleThreadedAnswers) {
@@ -284,7 +344,7 @@ TEST_F(ServeFixture, ShutdownIsIdempotentAndDrains) {
   q.group_by = ViewId::FromDims({0, 1});
   std::atomic<int> done{0};
   for (int i = 0; i < 20; ++i) {
-    server->Submit(q, [&](std::shared_ptr<const QueryAnswer> a) {
+    server->Submit(q, [&](std::shared_ptr<const QueryAnswer> a, QueryOutcome) {
       if (a != nullptr) done.fetch_add(1);
     });
   }

@@ -54,6 +54,9 @@ namespace {
                " [--seed S] --out facts.csv\n"
                "  sncube build --in facts.csv --out cubedir [--procs P]"
                " [--views N | --fraction F] [--gamma G] [--local-trees]\n"
+               "               [--checkpoint-dir DIR] [--fault-plan SPEC]\n"
+               "               (SPEC e.g. \"kill:1@5;slow:2x3.0;"
+               "diskerr:0:0.01;seed:7\")\n"
                "  sncube info --cube cubedir\n"
                "  sncube query --cube cubedir --group-by D0,D2"
                " [--where D1=3] [--min|--max] [--top K] [--json]\n"
@@ -174,6 +177,20 @@ int CmdBuild(const Args& args) {
     opts.tree_mode = TreeMode::kLocal;
     opts.estimator = EstimatorKind::kFm;
   }
+  const auto checkpoint_dir = args.Get("checkpoint-dir");
+  const auto fault_spec = args.Get("fault-plan");
+  if ((checkpoint_dir || fault_spec) && p == 1) {
+    Usage("--checkpoint-dir/--fault-plan require --procs >= 2");
+  }
+  if (checkpoint_dir) opts.checkpoint.dir = *checkpoint_dir;
+  FaultPlan fault_plan;
+  if (fault_spec) {
+    try {
+      fault_plan = FaultPlan::Parse(*fault_spec);
+    } catch (const SncubeError& e) {
+      Usage(e.what());
+    }
+  }
 
   const std::string out = args.Require("out");
   WallTimer timer;
@@ -188,20 +205,33 @@ int CmdBuild(const Args& args) {
     // Simulated shared-nothing build; rank r persists into out/rank<r>/ and
     // rank shards are merged into one store afterwards for querying.
     Cluster cluster(p);
+    if (!fault_plan.empty()) cluster.set_fault_plan(fault_plan);
     std::vector<CubeResult> shards(p);
     std::mutex mu;
-    cluster.Run([&](Comm& comm) {
-      // Deal rows round-robin to ranks (the paper's "distributed
-      // arbitrarily" input).
-      Relation slice(raw.width());
-      for (std::size_t r = comm.rank(); r < raw.size();
-           r += static_cast<std::size_t>(comm.size())) {
-        slice.AppendRow(raw, r);
+    try {
+      cluster.Run([&](Comm& comm) {
+        // Deal rows round-robin to ranks (the paper's "distributed
+        // arbitrarily" input).
+        Relation slice(raw.width());
+        for (std::size_t r = comm.rank(); r < raw.size();
+             r += static_cast<std::size_t>(comm.size())) {
+          slice.AppendRow(raw, r);
+        }
+        CubeResult cube =
+            BuildParallelCube(comm, slice, schema, selected, opts);
+        std::lock_guard<std::mutex> lock(mu);
+        shards[comm.rank()] = std::move(cube);
+      });
+    } catch (const ClusterAbortedError& e) {
+      std::fprintf(stderr, "build aborted: %s\n", e.what());
+      if (checkpoint_dir) {
+        std::fprintf(stderr,
+                     "partitions completed before the failure are saved; "
+                     "rerun with the same --checkpoint-dir (and without the "
+                     "fault) to resume\n");
       }
-      CubeResult cube = BuildParallelCube(comm, slice, schema, selected, opts);
-      std::lock_guard<std::mutex> lock(mu);
-      shards[comm.rank()] = std::move(cube);
-    });
+      return 3;
+    }
     std::printf("simulated %d-processor build: %.2f s simulated parallel "
                 "time, %.1f MB communicated\n",
                 p, cluster.SimTimeSeconds(),
