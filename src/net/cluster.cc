@@ -78,8 +78,9 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
   // is deliberately left at its pre-Run value — failed attempts must not
   // pollute SimTimeSeconds()/BytesSent() of later successful Runs.
   FailureReport report;
-  report.failed_rank = shared_->failed_rank;
-  report.superstep = shared_->failed_superstep;
+  const FailureCause cause = shared_->Cause();
+  report.failed_rank = cause.rank;
+  report.superstep = cause.superstep;
   if (report.failed_rank < 0) {
     // Only ClusterAbortedError was thrown (a program rethrew one by hand);
     // fall back to the lowest-ranked thrower.

@@ -9,6 +9,13 @@
 // threads interleave but the simulated clock — which drives every figure —
 // is unaffected because it is computed from operation counts, not from host
 // wall time.
+//
+// Thread-safety contract: the Cluster object itself is externally
+// synchronized — Run, the accessors, and set_fault_plan are called from one
+// driver thread (Run blocks, so overlapping calls cannot happen by
+// accident). The rank threads Run spawns never touch the Cluster's own
+// fields; they share only Cluster::Shared (net/internal.h), whose failure
+// state is mutex-guarded and thread-safety-annotated.
 #pragma once
 
 #include <barrier>

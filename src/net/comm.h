@@ -8,6 +8,13 @@
 // mutable structures, so the shared-nothing model is enforced by the type
 // system, not by convention.
 //
+// Thread-safety contract: a Comm endpoint is confined to its rank's thread
+// — nothing in this class is locked, and nothing needs to be. All
+// cross-rank state lives in Cluster::Shared (net/internal.h), where the
+// failure fields are mutex-guarded and machine-checked via the
+// SNCUBE_GUARDED_BY annotations, and the exchange board follows the
+// barrier-separated single-writer protocol documented there.
+//
 // Cost accounting (the BSP clock): between collectives a rank accrues local
 // CPU seconds (ChargeScanRecords / ChargeSortRecords / ChargeCpu) and disk
 // blocks (via its DiskModel). Each collective is a superstep boundary: the

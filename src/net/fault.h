@@ -58,7 +58,9 @@ struct FaultPlan {
 
 // One rank's view of the plan, constructed per Run. Consulted by Comm at
 // every collective entry and, via the DiskFaultHook interface, by the rank's
-// DiskModel on every charge.
+// DiskModel on every charge. Thread-safety: confined to its rank's thread,
+// like the Comm that owns it — the mutable Rng state needs no lock because
+// no other rank ever touches this injector.
 class FaultInjector : public DiskFaultHook {
  public:
   FaultInjector(const FaultPlan& plan, int rank);

@@ -5,15 +5,22 @@
 #include <atomic>
 #include <barrier>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/cluster.h"
 #include "relation/serialize.h"
 
 namespace sncube {
+
+// Root cause of an aborted Run, as recorded by Shared::MarkFailure.
+struct FailureCause {
+  int rank = -1;
+  std::uint64_t superstep = 0;
+};
 
 // State all ranks synchronize through. The exchange-board cell
 // board[src][dst] carries one collective's payload from src to dst. Within a
@@ -33,31 +40,48 @@ struct Cluster::Shared {
                            published_times(p, 0.0) {}
 
   std::barrier<> barrier;
+  // board and published_times carry no lock: their single-writer /
+  // barrier-separated access pattern (see the protocol above) is exactly
+  // the superstep structure, and the std::barrier crossings provide the
+  // happens-before edges. Thread-safety analysis cannot model barrier
+  // phases, so these two stay convention-checked (and TSan-checked in CI);
+  // everything below is machine-checked.
   std::vector<std::vector<ByteBuffer>> board;
   std::vector<double> published_times;
 
-  std::atomic<bool> aborted{false};
-  std::mutex failure_mu;
-  int failed_rank = -1;            // written once, before `aborted` is set
-  std::uint64_t failed_superstep = 0;
+  std::atomic<bool> aborted{false};  // fast-path flag; fields below hold truth
+  mutable Mutex failure_mu;
+  int failed_rank SNCUBE_GUARDED_BY(failure_mu) = -1;
+  std::uint64_t failed_superstep SNCUBE_GUARDED_BY(failure_mu) = 0;
 
-  void MarkFailure(int rank, std::uint64_t superstep) {
-    std::lock_guard<std::mutex> lock(failure_mu);
+  void MarkFailure(int rank, std::uint64_t superstep)
+      SNCUBE_EXCLUDES(failure_mu) {
+    MutexLock lock(failure_mu);
     if (failed_rank != -1) return;  // first failure is the root cause
     failed_rank = rank;
     failed_superstep = superstep;
     aborted.store(true, std::memory_order_release);
   }
 
-  // Called by surviving ranks after every barrier crossing. The acquire load
-  // pairs with MarkFailure's release store, so the rank/superstep fields —
-  // written exactly once, before the store — are stable when read here.
+  // Reads the root cause for the abort report. Taking failure_mu (rather
+  // than relying on "written once before the release store" reasoning)
+  // keeps the fields formally guarded by one capability the analysis can
+  // check; the lock is uncontended by construction once `aborted` is set.
+  FailureCause Cause() const SNCUBE_EXCLUDES(failure_mu) {
+    MutexLock lock(failure_mu);
+    return FailureCause{failed_rank, failed_superstep};
+  }
+
+  // Called by surviving ranks after every barrier crossing. The acquire
+  // load pairs with MarkFailure's release store and keeps the no-failure
+  // hot path lock-free; the failure path re-reads the cause under the lock.
   void ThrowIfAborted() const {
     if (!aborted.load(std::memory_order_acquire)) return;
+    const FailureCause cause = Cause();
     throw ClusterAbortedError(
-        "cluster aborted: rank " + std::to_string(failed_rank) +
-            " failed at superstep " + std::to_string(failed_superstep),
-        failed_rank, failed_superstep);
+        "cluster aborted: rank " + std::to_string(cause.rank) +
+            " failed at superstep " + std::to_string(cause.superstep),
+        cause.rank, cause.superstep);
   }
 };
 

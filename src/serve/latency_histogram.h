@@ -3,12 +3,32 @@
 // Record() buckets a microsecond latency into one of 64 power-of-two bins
 // (bucket i holds values in [2^(i-1), 2^i), bucket 0 holds {0}) and bumps an
 // atomic counter — no locks, no allocation, safe from any number of threads
-// on the serving hot path. Snapshot() reads the counters (relaxed; the
-// histogram is monotone so a torn snapshot is still a valid histogram from
-// some recent moment) and interpolates p50/p95/p99 within the winning
-// bucket. Power-of-two bins bound the quantile error at 2× worst case —
-// the right trade for an overload signal, matching the phase-attribution
-// spirit of src/net/metrics.h where exactness matters less than attribution.
+// on the serving hot path. Snapshot() reads the counters and interpolates
+// p50/p95/p99 within the winning bucket. Power-of-two bins bound the
+// quantile error at 2× worst case — the right trade for an overload signal,
+// matching the phase-attribution spirit of src/net/metrics.h where
+// exactness matters less than attribution.
+//
+// Memory orders (audited for PR 3; every operation is deliberately
+// std::memory_order_relaxed):
+//
+//   * No Record() publishes data that a Snapshot() reader dereferences —
+//     the counters ARE the data. There is no acquire/release pairing to
+//     make, so relaxed loses nothing and anything stronger would buy
+//     nothing but fences on the hot path.
+//   * Each counter is individually monotone, so a relaxed Snapshot is some
+//     valid histogram: every bucket count was genuinely reached at some
+//     point. Cross-counter skew (a recorded value counted in sum_us_ but
+//     whose bucket increment is not yet visible) can transiently shift
+//     mean vs. quantiles by one sample — irrelevant to an overload signal.
+//   * max_us_ uses a relaxed compare-exchange loop: the loop's correctness
+//     is ensured by CAS atomicity (a lost race re-reads the new maximum),
+//     not by ordering. On failure the CAS reloads `prev` itself, which is
+//     why the loop condition re-tests `prev < micros`.
+//
+// If a future reader ever needs "snapshot at least as new as X", add an
+// explicit fence or seq_cst counter then — do not upgrade these orders
+// speculatively.
 #pragma once
 
 #include <array>

@@ -28,7 +28,7 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 
 std::shared_ptr<const QueryAnswer> ResultCache::Get(const std::string& key) {
   Shard& s = ShardFor(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.misses;
@@ -45,7 +45,7 @@ void ResultCache::Put(const std::string& key,
   if (bytes > shard_budget_) return;  // would evict the whole shard for one entry
 
   Shard& s = ShardFor(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (const auto it = s.index.find(key); it != s.index.end()) {
     // Refresh in place (same key ⇒ same answer over an immutable cube, but
     // keep the newer shared_ptr and re-account defensively).
@@ -72,7 +72,7 @@ void ResultCache::Put(const std::string& key,
 CacheStats ResultCache::Stats() const {
   CacheStats total;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
+    MutexLock lock(sp->mu);
     total.hits += sp->hits;
     total.misses += sp->misses;
     total.inserts += sp->inserts;

@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "query/engine.h"
 
 namespace sncube {
@@ -67,14 +68,15 @@ class ResultCache {
     std::size_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t inserts = 0;
-    std::uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru SNCUBE_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        SNCUBE_GUARDED_BY(mu);
+    std::size_t bytes SNCUBE_GUARDED_BY(mu) = 0;
+    std::uint64_t hits SNCUBE_GUARDED_BY(mu) = 0;
+    std::uint64_t misses SNCUBE_GUARDED_BY(mu) = 0;
+    std::uint64_t inserts SNCUBE_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions SNCUBE_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);

@@ -30,6 +30,11 @@ CubeServer::CubeServer(const CubeResult& cube, ServerOptions options)
       cache_(options.cache_bytes, options.cache_shards) {
   SNCUBE_CHECK(options_.workers >= 1);
   SNCUBE_CHECK(options_.queue_depth >= 1);
+  // Spawned workers immediately contend for mu_ in WorkerLoop, so they park
+  // until construction releases the lock — no worker observes a
+  // half-initialized pool.
+  MutexLock lock(mu_);
+  live_workers_ = options_.workers;
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -45,7 +50,7 @@ SubmitStatus CubeServer::Submit(const Query& query, Callback done) {
   req.done = std::move(done);
   req.enqueued = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return SubmitStatus::kShutdown;
     if (queue_.size() >= options_.queue_depth) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -54,26 +59,26 @@ SubmitStatus CubeServer::Submit(const Query& query, Callback done) {
     queue_.push_back(std::move(req));
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return SubmitStatus::kAccepted;
 }
 
 std::shared_ptr<const QueryAnswer> CubeServer::Execute(const Query& query) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::shared_ptr<const QueryAnswer> result;
   bool ready = false;
   const SubmitStatus st =
       Submit(query, [&](std::shared_ptr<const QueryAnswer> answer,
                         QueryOutcome /*outcome*/) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         result = std::move(answer);
         ready = true;
-        cv.notify_one();
+        cv.NotifyOne();
       });
   if (st != SubmitStatus::kAccepted) return nullptr;
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return ready; });
+  MutexLock lock(mu);
+  while (!ready) cv.Wait(mu);
   return result;
 }
 
@@ -81,9 +86,14 @@ void CubeServer::WorkerLoop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(mu_);
+      if (queue_.empty()) {
+        // Stopping and fully drained: retire. The last worker out wakes
+        // every Shutdown caller blocked on quiescence.
+        if (--live_workers_ == 0) drained_cv_.NotifyAll();
+        return;
+      }
       req = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -130,16 +140,20 @@ void CubeServer::Process(Request& req) {
 }
 
 void CubeServer::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Already shut down (or shutting down from another caller); workers
-      // may still be joining below on the first caller's thread.
-      return;
-    }
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
+  // Every caller — not just the first — blocks until the queue is drained
+  // and the workers have exited. The old early-return for concurrent
+  // callers let a destructor racing an explicit Shutdown() return (and
+  // destroy members) while the first caller was still joining workers that
+  // touch those members; -Wthread-safety forced the join under mu_, which
+  // in turn forced this wait-for-quiescence protocol.
+  MutexLock lock(mu_);
+  stopping_ = true;
+  queue_cv_.NotifyAll();
+  while (live_workers_ > 0) drained_cv_.Wait(mu_);
+  // live_workers_ == 0: every worker is past its last touch of server
+  // state, so joining under mu_ cannot deadlock and only waits out thread
+  // epilogues. Concurrent callers serialize here; the loser joins an empty
+  // vector.
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -154,7 +168,7 @@ StatsSnapshot CubeServer::Stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.queue_depth = queue_.size();
   }
   s.queue_depth_max = options_.queue_depth;

@@ -26,17 +26,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "query/engine.h"
 #include "serve/latency_histogram.h"
 #include "serve/result_cache.h"
@@ -106,17 +106,20 @@ class CubeServer {
   // runs.
   using Callback =
       std::function<void(std::shared_ptr<const QueryAnswer>, QueryOutcome)>;
-  SubmitStatus Submit(const Query& query, Callback done);
+  SubmitStatus Submit(const Query& query, Callback done) SNCUBE_EXCLUDES(mu_);
 
   // Synchronous convenience: Submit + wait. Returns nullptr when the request
   // was rejected (overload), shut out, or failed to execute.
   std::shared_ptr<const QueryAnswer> Execute(const Query& query);
 
-  // Drains accepted requests, then joins the workers. Idempotent; called by
-  // the destructor.
-  void Shutdown();
+  // Drains accepted requests, then joins the workers. Idempotent, and
+  // blocking for every caller: any Shutdown call (including a concurrent
+  // second one, e.g. the destructor racing an explicit Shutdown) returns
+  // only after the queue is drained and all worker threads have exited — so
+  // returning from Shutdown always means the server is fully quiescent.
+  void Shutdown() SNCUBE_EXCLUDES(mu_);
 
-  StatsSnapshot Stats() const;
+  StatsSnapshot Stats() const SNCUBE_EXCLUDES(mu_);
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -127,7 +130,7 @@ class CubeServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() SNCUBE_EXCLUDES(mu_);
   void Process(Request& req);
 
   const ServerOptions options_;
@@ -135,10 +138,14 @@ class CubeServer {
   ResultCache cache_;
   LatencyHistogram latency_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar queue_cv_;    // signaled on enqueue and on shutdown
+  CondVar drained_cv_;  // signaled when the last live worker exits
+  std::deque<Request> queue_ SNCUBE_GUARDED_BY(mu_);
+  bool stopping_ SNCUBE_GUARDED_BY(mu_) = false;
+  // Workers still running WorkerLoop. Shutdown waits for this to reach zero
+  // before joining, so every Shutdown caller blocks until quiescence.
+  int live_workers_ SNCUBE_GUARDED_BY(mu_) = 0;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -146,7 +153,10 @@ class CubeServer {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> timed_out_{0};
 
-  std::vector<std::thread> workers_;
+  // Joined (and cleared) under mu_ by whichever Shutdown caller gets there
+  // first; by then live_workers_ == 0, so no worker needs mu_ again and
+  // joining under the lock cannot deadlock.
+  std::vector<std::thread> workers_ SNCUBE_GUARDED_BY(mu_);
 };
 
 }  // namespace sncube

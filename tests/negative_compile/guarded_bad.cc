@@ -1,0 +1,25 @@
+// Negative fixture for the thread-safety negative-compile test: writes a
+// SNCUBE_GUARDED_BY field without holding its mutex. Under clang with
+// `-Wthread-safety -Werror` this MUST fail to compile — the test asserts
+// exactly that, proving the annotations are enforced rather than decorative.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  sncube::Mutex mu;
+  int value SNCUBE_GUARDED_BY(mu) = 0;
+
+  void BumpUnlocked() {
+    ++value;  // unguarded access: thread-safety analysis must reject this
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.BumpUnlocked();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Positive control for the thread-safety negative-compile test: correctly
+// locked accesses to a guarded field. Must compile cleanly under
+// `-Wthread-safety -Werror`; if it doesn't, the annotation macros
+// themselves are broken and the companion negative test proves nothing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  sncube::Mutex mu;
+  int value SNCUBE_GUARDED_BY(mu) = 0;
+
+  void Bump() {
+    sncube::MutexLock lock(mu);
+    ++value;
+  }
+  int Get() {
+    sncube::MutexLock lock(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# ctest wrapper for the thread-safety negative-compile check.
+#
+#   run.sh <fixture-src-dir> <repo-src-dir> <cxx-compiler>
+#
+# Exit codes: 0 = annotations enforced (control compiles, violation
+# rejected), 77 = skipped because the compiler has no -Wthread-safety
+# (ctest maps this to SKIP via SKIP_RETURN_CODE), anything else = failure.
+set -u
+
+fixture_dir=$1
+src_dir=$2
+cxx=$3
+
+build_dir=$(mktemp -d) || exit 1
+trap 'rm -rf "$build_dir"' EXIT
+
+log="$build_dir/configure.log"
+cmake -S "$fixture_dir" -B "$build_dir/b" \
+      -DSNCUBE_SRC_DIR="$src_dir" \
+      -DCMAKE_CXX_COMPILER="$cxx" >"$log" 2>&1
+status=$?
+cat "$log"
+
+if grep -q SNCUBE_TS_SKIP "$log"; then
+  exit 77
+fi
+exit $status

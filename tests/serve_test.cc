@@ -354,6 +354,40 @@ TEST_F(ServeFixture, ShutdownIsIdempotentAndDrains) {
   server.reset();              // destructor after explicit shutdown is fine
 }
 
+// Shutdown blocks EVERY caller until quiescence, not just the first. The
+// pre-PR-3 protocol early-returned for concurrent callers while the first
+// was still joining workers — a destructor racing an explicit Shutdown()
+// could then free members under a live worker (the bug -Wthread-safety
+// surfaced when the join moved under mu_).
+TEST_F(ServeFixture, ConcurrentShutdownCallersAllWaitForQuiescence) {
+  CubeServer server(cube, {.workers = 3, .queue_depth = 128});
+  Query q;
+  q.group_by = ViewId::FromDims({0, 1});
+  std::atomic<int> callbacks{0};
+  std::uint64_t submitted = 0;
+  for (int i = 0; i < 60; ++i) {
+    const SubmitStatus st = server.Submit(
+        q, [&](std::shared_ptr<const QueryAnswer>, QueryOutcome) {
+          callbacks.fetch_add(1);
+        });
+    if (st == SubmitStatus::kAccepted) ++submitted;
+  }
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&] {
+      server.Shutdown();
+      // Whichever caller returns, the server must already be quiescent:
+      // every accepted request's callback has run.
+      EXPECT_EQ(callbacks.load(), static_cast<int>(submitted));
+    });
+  }
+  for (auto& t : closers) t.join();
+  EXPECT_EQ(server.Submit(q, nullptr), SubmitStatus::kShutdown);
+  const StatsSnapshot s = server.Stats();
+  EXPECT_EQ(s.completed + s.failed + s.timed_out, submitted);
+}
+
 TEST_F(ServeFixture, WorkloadQueriesAreAllRoutable) {
   WorkloadSpec wspec;
   wspec.pool_size = 128;

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Self-test for sncheck: the pass tree must be clean, and every EXPECT
+marker in the fail tree must produce exactly one finding of the marked rule
+on that line (plus the bad-suppression findings, which mark their own
+lines). Run via ctest (`sncheck_selftest`) or directly."""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SNCHECK = os.path.join(HERE, "sncheck.py")
+FINDING_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[\w-]+)\]")
+# EXPECT markers live in fixture comments: `// EXPECT <rule-id>` on the line
+# the finding must anchor to. bad-suppression findings are expected on the
+# allow-comment lines themselves, marked the same way.
+EXPECT_RE = re.compile(r"EXPECT\s+([\w-]+)")
+
+failures = []
+
+
+def run_sncheck(tree):
+    proc = subprocess.run(
+        [sys.executable, SNCHECK, "--root", os.path.join(HERE, "testdata", tree)],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.add((m.group("file"), int(m.group("line")), m.group("rule")))
+        elif line.strip():
+            failures.append(f"{tree}: unparseable sncheck output line: {line!r}")
+    return proc.returncode, findings
+
+
+def expected_findings(tree):
+    expected = set()
+    root = os.path.join(HERE, "testdata", tree)
+    for dirpath, _dirs, names in os.walk(root):
+        for name in names:
+            full = os.path.join(dirpath, name)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as f:
+                for line_no, line in enumerate(f, start=1):
+                    for rule in EXPECT_RE.findall(line):
+                        expected.add((rel, line_no, rule))
+    return expected
+
+
+def check(condition, message):
+    if not condition:
+        failures.append(message)
+
+
+# --- pass tree: clean exit, no findings ------------------------------------
+rc, findings = run_sncheck("pass_tree")
+check(rc == 0, f"pass_tree: expected exit 0, got {rc}")
+check(not findings, f"pass_tree: unexpected findings: {sorted(findings)}")
+
+# --- fail tree: exit 1 and exactly the EXPECT-marked findings ---------------
+rc, findings = run_sncheck("fail_tree")
+check(rc == 1, f"fail_tree: expected exit 1, got {rc}")
+expected = expected_findings("fail_tree")
+# The malformed-suppression fixture raises two bad-suppression findings on
+# the allow lines themselves; they carry no EXPECT marker (an EXPECT inside
+# the allow comment would change what is being tested), so add them here.
+expected.add(("src/io/bad_suppression.cc", 9, "bad-suppression"))
+expected.add(("src/io/bad_suppression.cc", 11, "bad-suppression"))
+check(findings == expected,
+      "fail_tree mismatch:\n  missing: %s\n  extra:   %s" % (
+          sorted(expected - findings), sorted(findings - expected)))
+
+# --- CLI: single-file mode and --list-rules ---------------------------------
+proc = subprocess.run(
+    [sys.executable, SNCHECK, "--root", os.path.join(HERE, "testdata", "fail_tree"),
+     "src/core/wall_clock_bad.cc"], capture_output=True, text=True)
+check(proc.returncode == 1, "single-file mode: expected exit 1")
+check(proc.stdout.count("[wall-clock]") == 2,
+      f"single-file mode: expected 2 wall-clock findings, got:\n{proc.stdout}")
+
+proc = subprocess.run([sys.executable, SNCHECK, "--list-rules"],
+                      capture_output=True, text=True)
+check(proc.returncode == 0, "--list-rules: expected exit 0")
+for rule in ("wall-clock", "raw-wire-bytes", "typed-throw", "nondeterminism"):
+    check(rule in proc.stdout, f"--list-rules missing {rule}")
+
+if failures:
+    print("sncheck_test: FAIL")
+    for f in failures:
+        print(" -", f)
+    sys.exit(1)
+print("sncheck_test: OK")

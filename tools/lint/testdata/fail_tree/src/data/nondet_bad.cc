@@ -1,0 +1,14 @@
+// Fixture: ambient nondeterminism in library code. Expect three
+// nondeterminism findings.
+#include <cstdlib>
+#include <random>
+
+namespace sncube {
+
+int BadRandomness() {
+  std::random_device rd;                      // EXPECT nondeterminism
+  std::mt19937_64 gen(rd());                  // EXPECT nondeterminism
+  return static_cast<int>(gen()) + std::rand();  // EXPECT nondeterminism
+}
+
+}  // namespace sncube

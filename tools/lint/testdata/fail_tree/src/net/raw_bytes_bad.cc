@@ -1,0 +1,16 @@
+// Fixture: raw byte reinterpretation in the wire layer outside wire.h.
+// Expect two raw-wire-bytes findings.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace sncube {
+
+std::uint64_t BadDecode(const std::vector<unsigned char>& buf) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf.data(), sizeof(v));                    // EXPECT raw-wire-bytes
+  const auto* p = reinterpret_cast<const std::uint32_t*>(buf.data());  // EXPECT raw-wire-bytes
+  return v + *p;
+}
+
+}  // namespace sncube

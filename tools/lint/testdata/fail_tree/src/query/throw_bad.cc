@@ -1,0 +1,24 @@
+// Fixture: untyped throws in library code. Expect two typed-throw findings;
+// the bare rethrow and the SncubeError throw are allowed.
+#include <stdexcept>
+#include <string>
+
+namespace sncube {
+
+class SncubeError : public std::runtime_error {
+ public:
+  explicit SncubeError(const std::string& w) : std::runtime_error(w) {}
+};
+
+void BadThrows(int mode) {
+  if (mode == 0) throw std::runtime_error("untyped");  // EXPECT typed-throw
+  if (mode == 1) throw 42;                             // EXPECT typed-throw
+  if (mode == 2) throw SncubeError("typed: fine");
+  try {
+    BadThrows(mode - 1);
+  } catch (...) {
+    throw;  // bare rethrow: fine
+  }
+}
+
+}  // namespace sncube

@@ -1,0 +1,15 @@
+// Fixture: a compliant simulation-path file. Mentions of steady_clock and
+// memcpy in comments (like this one) and in string literals must NOT fire —
+// sncheck matches code tokens only.
+#include <cstdint>
+#include <string>
+
+namespace sncube {
+
+// The sim clock, not std::chrono::steady_clock, is the time source here.
+double ChargeLikeThePaperDoes(std::uint64_t records) {
+  const std::string doc = "never memcpy wire bytes; see reinterpret_cast ban";
+  return static_cast<double>(records) * 1e-8 + static_cast<double>(doc.size());
+}
+
+}  // namespace sncube
