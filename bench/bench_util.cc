@@ -1,15 +1,40 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
 #include "common/env.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "seqcube/seq_cube.h"
 
 namespace sncube::bench {
+
+namespace {
+
+// Canonical pipeline order for breakdown tables; families not listed here
+// (none today) sort alphabetically after these.
+int FamilyOrder(const std::string& family) {
+  static constexpr const char* kOrder[] = {"default",  "restore", "partition",
+                                           "schedule", "compute", "merge",
+                                           "checkpoint"};
+  for (int i = 0; i < static_cast<int>(std::size(kOrder)); ++i) {
+    if (family == kOrder[i]) return i;
+  }
+  return static_cast<int>(std::size(kOrder));
+}
+
+}  // namespace
 
 RunResult RunParallel(const DatasetSpec& spec, int p,
                       const std::vector<ViewId>& selected,
                       const ParallelCubeOptions& opts, CostParams cost) {
   const Schema schema = spec.MakeSchema();
   Cluster cluster(p, cost);
+  obs::TraceSink trace_sink;
+  const char* trace_prefix = std::getenv("SNCUBE_TRACE_OUT");
+  if (trace_prefix != nullptr) cluster.set_trace_sink(&trace_sink);
   RunResult result;
   std::vector<std::uint64_t> rows(p, 0);
   std::vector<std::uint64_t> bytes(p, 0);
@@ -31,7 +56,62 @@ RunResult RunParallel(const DatasetSpec& spec, int p,
     result.cube_bytes += bytes[r];
   }
   result.merge = merges[0];
+  result.phases = CollapsePhases(cluster);
+  if (trace_prefix != nullptr) {
+    static int run_counter = 0;  // benches are single-threaded drivers
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s-p%d-%03d.json", trace_prefix, p,
+                  run_counter++);
+    obs::WriteTextFile(path, obs::ChromeTraceJson(trace_sink.Snapshot()));
+  }
   return result;
+}
+
+std::vector<PhaseRow> CollapsePhases(const Cluster& cluster) {
+  std::map<std::string, PhaseRow> families;
+  for (const auto& rs : cluster.stats()) {
+    for (const auto& [name, ps] : rs.phases) {
+      std::string family = name;
+      const auto slash = name.rfind('/');
+      if (slash != std::string::npos &&
+          name.find_first_not_of("0123456789", slash + 1) ==
+              std::string::npos) {
+        family = name.substr(0, slash);
+      }
+      PhaseRow& row = families[family];
+      row.family = family;
+      row.cpu_s += ps.cpu_s;
+      row.disk_s += ps.disk_s;
+      row.net_s += ps.net_s;
+      row.bytes += ps.bytes_sent;
+    }
+  }
+  std::vector<PhaseRow> result;
+  result.reserve(families.size());
+  for (auto& [name, row] : families) result.push_back(std::move(row));
+  // std::map already sorted alphabetically; stable_sort keeps that order
+  // within equal FamilyOrder ranks.
+  std::stable_sort(result.begin(), result.end(),
+                   [](const PhaseRow& a, const PhaseRow& b) {
+                     return FamilyOrder(a.family) < FamilyOrder(b.family);
+                   });
+  return result;
+}
+
+void PrintPhaseBreakdown(const std::string& label, const RunResult& result) {
+  double total = 0;
+  for (const auto& row : result.phases) total += row.total_s();
+  std::printf("\nphase breakdown [%s] "
+              "(totals across ranks, simulated seconds)\n",
+              label.c_str());
+  std::printf("%-12s %10s %10s %10s %10s %7s\n", "phase", "cpu_s", "disk_s",
+              "net_s", "MB", "share");
+  for (const auto& row : result.phases) {
+    std::printf("%-12s %10.3f %10.3f %10.3f %10.2f %6.1f%%\n",
+                row.family.c_str(), row.cpu_s, row.disk_s, row.net_s,
+                static_cast<double>(row.bytes) / 1048576.0,
+                total == 0 ? 0.0 : 100.0 * row.total_s() / total);
+  }
 }
 
 double RunSequentialSeconds(const DatasetSpec& spec,

@@ -23,6 +23,20 @@
 
 namespace sncube::bench {
 
+// One phase family's cost, totaled across ranks and partitions: the rows of
+// the per-figure phase breakdown (DESIGN.md §10). "partition/3" and
+// "partition/5" collapse into family "partition"; phases with no numeric
+// suffix keep their name.
+struct PhaseRow {
+  std::string family;
+  double cpu_s = 0;
+  double disk_s = 0;
+  double net_s = 0;
+  std::uint64_t bytes = 0;
+
+  double total_s() const { return cpu_s + disk_s + net_s; }
+};
+
 struct RunResult {
   double sim_seconds = 0;
   std::uint64_t bytes_total = 0;
@@ -30,13 +44,27 @@ struct RunResult {
   std::uint64_t cube_rows = 0;
   std::uint64_t cube_bytes = 0;
   MergeStats merge;
+  std::vector<PhaseRow> phases;  // pipeline order, then leftovers sorted
 };
 
-// Full/partial parallel cube on p simulated processors.
+// Full/partial parallel cube on p simulated processors. When the
+// SNCUBE_TRACE_OUT environment variable is set, each run additionally
+// writes a Chrome trace_event timeline to "<SNCUBE_TRACE_OUT>-pP-NNN.json"
+// (P = processor count, NNN = a process-wide run counter).
 RunResult RunParallel(const DatasetSpec& spec, int p,
                       const std::vector<ViewId>& selected,
                       const ParallelCubeOptions& opts = {},
                       CostParams cost = FastEthernetBeowulf());
+
+// Collapses a finished run's per-rank, per-partition phase stats into
+// family totals (see PhaseRow). RunParallel fills RunResult::phases with
+// this already; exposed for benches that drive Cluster directly.
+std::vector<PhaseRow> CollapsePhases(const Cluster& cluster);
+
+// Prints one run's phase breakdown as a table: per-family cpu/disk/net
+// simulated seconds, bytes on the wire, and the family's share of total
+// charged time. `label` names the configuration (e.g. "p=16, n=2000000").
+void PrintPhaseBreakdown(const std::string& label, const RunResult& result);
 
 // Sequential baseline: classic whole-lattice Pipesort (full cube) or
 // per-partition partial cube, on one simulated node.

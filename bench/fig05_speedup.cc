@@ -22,12 +22,15 @@ int main() {
   std::vector<std::vector<double>> times(2);
   std::vector<double> t1(2);
   const std::int64_t sizes[2] = {n_small, n_large};
+  RunResult widest;  // largest input at the most processors
   for (int s = 0; s < 2; ++s) {
     DatasetSpec spec = DatasetSpec::PaperDefault(sizes[s]);
     spec.seed = 51;
     t1[s] = RunSequentialSeconds(spec, selected);
     for (int p : ps) {
-      times[s].push_back(RunParallel(spec, p, selected).sim_seconds);
+      RunResult r = RunParallel(spec, p, selected);
+      times[s].push_back(r.sim_seconds);
+      widest = std::move(r);
     }
   }
 
@@ -43,5 +46,8 @@ int main() {
   PrintSpeedupPanel({"n=" + std::to_string(sizes[0]),
                      "n=" + std::to_string(sizes[1])},
                     ps, t1, times);
+  PrintPhaseBreakdown("n=" + std::to_string(sizes[1]) +
+                          ", p=" + std::to_string(ps.back()),
+                      widest);
   return 0;
 }

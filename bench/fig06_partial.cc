@@ -47,11 +47,14 @@ void RunSeries(const char* how, const DatasetSpec& spec,
                const std::vector<std::string>& names) {
   std::vector<std::vector<double>> times;
   std::vector<double> t1;
+  RunResult widest;  // last selection (100%) at the most processors
   for (const auto& selected : selections) {
     t1.push_back(RunSequentialSeconds(spec, selected));
     std::vector<double> series;
     for (int p : ps) {
-      series.push_back(RunParallel(spec, p, selected).sim_seconds);
+      RunResult r = RunParallel(spec, p, selected);
+      series.push_back(r.sim_seconds);
+      widest = std::move(r);
     }
     times.push_back(std::move(series));
   }
@@ -62,6 +65,9 @@ void RunSeries(const char* how, const DatasetSpec& spec,
                 how, static_cast<long long>(spec.rows));
   PrintTimePanel(title, names, ps, times);
   PrintSpeedupPanel(names, ps, t1, times);
+  PrintPhaseBreakdown(std::string(how) + ", " + names.back() +
+                          ", p=" + std::to_string(ps.back()),
+                      widest);
 }
 
 }  // namespace

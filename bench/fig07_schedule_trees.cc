@@ -30,14 +30,16 @@ int main() {
 
   std::vector<std::vector<double>> times(2);
   std::vector<int> resorted(ps.size(), 0);
+  RunResult breakdown[2];  // per tree mode, at the most processors
   for (std::size_t mode = 0; mode < 2; ++mode) {
     ParallelCubeOptions opts;
     opts.tree_mode = (mode == 0) ? TreeMode::kGlobal : TreeMode::kLocal;
     opts.estimator = EstimatorKind::kFm;
     for (std::size_t i = 0; i < ps.size(); ++i) {
-      const auto result = RunParallel(spec, ps[i], selected, opts);
+      RunResult result = RunParallel(spec, ps[i], selected, opts);
       times[mode].push_back(result.sim_seconds);
       if (mode == 1) resorted[i] = result.merge.resorted_views;
+      breakdown[mode] = std::move(result);
     }
   }
   const double t1 = RunSequentialSeconds(spec, selected);
@@ -54,5 +56,9 @@ int main() {
   for (std::size_t i = 0; i < ps.size(); ++i) {
     std::printf("  p=%-3d %d of 256\n", ps[i], resorted[i]);
   }
+  PrintPhaseBreakdown("global tree, p=" + std::to_string(ps.back()),
+                      breakdown[0]);
+  PrintPhaseBreakdown("local trees, p=" + std::to_string(ps.back()),
+                      breakdown[1]);
   return 0;
 }

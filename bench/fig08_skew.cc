@@ -23,16 +23,19 @@ int main() {
               static_cast<long long>(n), p);
   std::printf("%-8s %16s %18s %12s %8s %8s %8s\n", "alpha", "sim_seconds",
               "merge_comm_MB", "cube_rows", "case1", "case2", "case3");
+  RunResult spike;  // alpha = 1, the paper's merge-traffic spike
   for (double alpha : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0}) {
     DatasetSpec spec = DatasetSpec::PaperDefault(n);
     spec.alphas.assign(8, alpha);
     spec.seed = 81;
-    const auto result = RunParallel(spec, p, selected);
+    RunResult result = RunParallel(spec, p, selected);
     std::printf("%-8.1f %16.2f %18.2f %12llu %8d %8d %8d\n", alpha,
                 result.sim_seconds, result.bytes_merge / 1048576.0,
                 static_cast<unsigned long long>(result.cube_rows),
                 result.merge.case1_views, result.merge.case2_views,
                 result.merge.case3_views);
+    if (alpha == 1.0) spike = std::move(result);
   }
+  PrintPhaseBreakdown("alpha=1.0, p=" + std::to_string(p), spike);
   return 0;
 }

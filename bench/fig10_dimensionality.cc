@@ -21,17 +21,20 @@ int main() {
               static_cast<long long>(n), p);
   std::printf("%-4s %8s %16s %14s %16s %20s\n", "d", "views", "sim_seconds",
               "cube_Mrows", "cube_MB", "us_per_output_row");
+  RunResult deepest;  // d = 10
   for (int d = 6; d <= 10; ++d) {
     DatasetSpec spec;
     spec.rows = n;
     spec.cardinalities.assign(d, 256);
     spec.seed = 101;
-    const auto result = RunParallel(spec, p, AllViews(d));
+    RunResult result = RunParallel(spec, p, AllViews(d));
     std::printf("%-4d %8u %16.2f %14.2f %16.1f %20.3f\n", d, 1u << d,
                 result.sim_seconds, result.cube_rows / 1e6,
                 result.cube_bytes / 1048576.0,
                 result.sim_seconds * 1e6 /
                     static_cast<double>(result.cube_rows));
+    deepest = std::move(result);
   }
+  PrintPhaseBreakdown("d=10, p=" + std::to_string(p), deepest);
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
   std::vector<std::string> names;
   std::vector<std::vector<double>> times;
   std::vector<std::vector<std::uint64_t>> merge_mb;
+  RunResult tightest;  // gamma = 3% at the most processors
   for (double gamma : {0.03, 0.05, 0.07}) {
     names.push_back(std::to_string(static_cast<int>(gamma * 100)) + "% thr");
     ParallelCubeOptions opts;
@@ -31,9 +32,10 @@ int main() {
     std::vector<double> series;
     std::vector<std::uint64_t> mb;
     for (int p : ps) {
-      const auto result = RunParallel(spec, p, selected, opts);
+      RunResult result = RunParallel(spec, p, selected, opts);
       series.push_back(result.sim_seconds);
       mb.push_back(result.bytes_merge);
+      if (gamma == 0.03) tightest = std::move(result);
     }
     times.push_back(std::move(series));
     merge_mb.push_back(std::move(mb));
@@ -57,5 +59,6 @@ int main() {
     }
     std::printf("\n");
   }
+  PrintPhaseBreakdown("gamma=3%, p=" + std::to_string(ps.back()), tightest);
   return 0;
 }

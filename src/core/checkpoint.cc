@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "relation/serialize.h"
 
 namespace sncube {
@@ -139,6 +140,7 @@ int CheckpointManager::LastCompletePartition() const {
 void CheckpointManager::SavePartition(Comm& comm, int index,
                                       const CubeResult& partition_views) {
   SNCUBE_CHECK(enabled());
+  SNCUBE_TRACE_SPAN_IDX("ckpt-save", index);
   std::vector<std::uint32_t> masks;
   for (const auto& [id, vr] : partition_views.views) {
     const ByteBuffer bytes = SerializeCheckpointView(index, vr);
@@ -183,6 +185,7 @@ void CheckpointManager::SavePartition(Comm& comm, int index,
 
 void CheckpointManager::LoadPartition(Comm& comm, int index, CubeResult* out) {
   SNCUBE_CHECK(enabled());
+  SNCUBE_TRACE_SPAN_IDX("ckpt-load", index);
   const auto entries = ReadManifest();
   const std::vector<std::uint32_t>* masks = nullptr;
   for (const auto& [i, m] : entries) {

@@ -9,6 +9,7 @@
 #include "core/sample_sort.h"
 #include "core/sampling_array.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "relation/aggregate.h"
 #include "relation/merge.h"
 #include "relation/serialize.h"
@@ -126,6 +127,14 @@ void MergePartitions(Comm& comm, CubeResult& cube,
     return;
   }
 
+  // Procedure 3 as sibling spans under "merge-partitions": normalize →
+  // boundaries (incl. Case 1/2/3 classification) → exchange (the bulk
+  // h-relation + agglomeration) → case3-resort (full re-sorts, which nest
+  // their own "sample-sort" span trees).
+  SNCUBE_TRACE_SPAN("merge-partitions");
+  obs::PhaseSpan mstep;
+  mstep.Switch("normalize");
+
   // ---- Phase A: order normalization (one all-gather for all views) -------
   // Under local schedule trees the fragments of a view can be sorted
   // differently per rank; everyone adopts rank 0's order, re-sorting if
@@ -167,6 +176,7 @@ void MergePartitions(Comm& comm, CubeResult& cube,
   }
 
   // ---- Phase B: boundaries for every view (one all-gather) ---------------
+  mstep.Switch("boundaries");
   std::vector<ViewPlan> plans(ids.size());
   {
     ByteBuffer msg;
@@ -255,6 +265,7 @@ void MergePartitions(Comm& comm, CubeResult& cube,
 
   // ---- Phase C: one bulk h-relation for Case 1 rows + Case 2 overlaps ----
   // Wire format per destination: repeated (view mask, row count, rows).
+  mstep.Switch("exchange");
   {
     std::vector<ByteBuffer> send(p);
     auto stage = [&](int dst, ViewId id, const Relation& rel,
@@ -400,6 +411,7 @@ void MergePartitions(Comm& comm, CubeResult& cube,
   }
 
   // ---- Phase E: Case 3 views — full parallel re-sort each -----------------
+  mstep.Switch("case3-resort");
   for (auto& plan : plans) {
     if (plan.kase != ViewPlan::kCase3) continue;
     ViewResult& vr = cube.views.at(plan.id);

@@ -8,6 +8,7 @@
 #include "core/sample_sort.h"
 #include "lattice/lattice.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "relation/aggregate.h"
 #include "schedule/pipesort.h"
 #include "seqcube/pipeline.h"
@@ -80,6 +81,12 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
   SNCUBE_CHECK(local_raw.width() == schema.dims());
   const int d = schema.dims();
 
+  // Procedure 1 as a span tree: "build" covers the whole call; each
+  // non-empty Di-partition gets a "dimension/i" child whose own children
+  // mirror the SetPhase sequence (partition → schedule → compute → merge
+  // [→ checkpoint]). DESIGN.md §10 maps paper figures onto these names.
+  SNCUBE_TRACE_SPAN("build");
+
   comm.SetPhase("partition");
   const std::uint64_t global_rows = comm.AllReduceSum(local_raw.size());
 
@@ -105,12 +112,16 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
     if (part.empty()) continue;
     if (stats != nullptr) stats->partitions += 1;
 
+    SNCUBE_TRACE_SPAN_IDX("dimension", i);
+    obs::PhaseSpan step;
+
     if (i <= resume_before) {
       // This partition was completed by every rank in a previous run:
       // restore the merged shards from this rank's checkpoint instead of
       // recomputing. The restored rows are byte-for-byte what the compute
       // path produced, so the final CubeResult is identical either way.
       comm.SetPhase("checkpoint/restore");
+      step.Switch("restore", i);
       ckpt.LoadPartition(comm, i, &output);
       if (stats != nullptr) stats->partitions_restored += 1;
       continue;
@@ -126,6 +137,7 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
 
     // ---- Step 1: data partitioning -------------------------------------
     comm.SetPhase("partition" + tag);
+    step.Switch("partition", i);
     ExecStats root_stats;
     Relation root_local = ComputeRootData(local_raw, root, root_order,
                                           opts.fn, &comm.disk(), &root_stats);
@@ -149,6 +161,7 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
 
     // ---- Step 2: local Di-partition computation -------------------------
     comm.SetPhase("schedule" + tag);
+    step.Switch("schedule", i);
     ScheduleTree tree;
     if (opts.tree_mode == TreeMode::kGlobal) {
       // Step 2a/2b: P0 builds Ti from ITS data and broadcasts it.
@@ -168,6 +181,7 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
     }
 
     comm.SetPhase("compute" + tag);
+    step.Switch("compute", i);
     ExecStats exec_stats;
     CubeResult cube = ExecuteScheduleTree(tree, std::move(root_data), opts.fn,
                                           &comm.disk(), &exec_stats);
@@ -176,6 +190,7 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
 
     // ---- Step 3: merge of local Di-partitions ---------------------------
     comm.SetPhase("merge" + tag);
+    step.Switch("merge", i);
     MergeOptions merge_opts;
     merge_opts.fn = opts.fn;
     merge_opts.gamma = opts.gamma_merge;
@@ -187,6 +202,7 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
 
     if (ckpt.enabled()) {
       comm.SetPhase("checkpoint" + tag);
+      step.Switch("checkpoint", i);
       ckpt.SavePartition(comm, i, cube);
     }
 

@@ -7,6 +7,7 @@
 #include "core/key_tuple.h"
 #include "io/external_sort.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "relation/merge.h"
 #include "relation/serialize.h"
 #include "relation/sort.h"
@@ -37,6 +38,12 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
   const int width = local.width();
   const std::size_t rows_in = local.size();
 
+  // Procedure 2 as sibling spans under "sample-sort": local-sort → pivots →
+  // h-relation → (optional) shift.
+  SNCUBE_TRACE_SPAN("sample-sort");
+  obs::PhaseSpan step;
+  step.Switch("local-sort");
+
   // Step 1: local (external-memory) sort — skipped when the input is
   // already in order, which is how Merge–Partitions' Case 3 calls arrive
   // (every view fragment leaves the cube construction sorted); one
@@ -63,6 +70,7 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
   }
 
   // Step 1 (cont.): p local pivots at evenly spaced local ranks, to P0.
+  step.Switch("pivots");
   ByteBuffer pivot_msg;
   {
     std::vector<Key> flat;
@@ -128,6 +136,7 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
 
   // Step 3+4: cut the sorted local data at the pivots (equal keys stay
   // together on the pivot's side) and run the h-relation.
+  step.Switch("h-relation");
   std::vector<ByteBuffer> send(p);
   {
     std::size_t begin = 0;
@@ -175,6 +184,7 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
   const bool shift = imbalance > gamma;
 
   if (shift) {
+    step.Switch("shift");
     // Global shift: every rank re-slices its (globally contiguous) rows to
     // the even target layout with one more h-relation.
     std::uint64_t total = 0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "relation/sort.h"
 
 namespace sncube {
@@ -115,6 +116,7 @@ void SerializeRow(const Key* keys, int width, Measure m, ByteBuffer& out) {
 Relation ExternalSort(const Relation& input, std::span<const int> cols,
                       DiskModel& disk, RunStore* store,
                       ExternalSortStats* stats) {
+  SNCUBE_TRACE_SPAN("external-sort");
   const DiskParams& dp = disk.params();
   const std::size_t bytes = input.ByteSize();
 

@@ -25,11 +25,23 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(p_);
   for (int r = 0; r < p_; ++r) {
+    // Every Run starts its Comm — and therefore all metrics, phase stats,
+    // disk counters, and the simulated clock — from zero (run-scoped
+    // policy; see cluster.h).
     comms.emplace_back(new Comm(*this, r, p_, cost_, disk_params_,
                                 fault_plan_.empty() ? nullptr : &fault_plan_));
-    // Carry previous runs' accumulated stats into the endpoint so repeated
-    // Run calls aggregate.
-    comms.back()->stats_ = stats_[r];
+  }
+
+  // One trace recorder per rank when tracing is on; each is confined to its
+  // rank's thread below and only harvested after the join (the jthread join
+  // is the happens-before edge that makes the harvest race-free).
+  std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+  if (trace_sink_ != nullptr) {
+    recorders.reserve(p_);
+    for (int r = 0; r < p_; ++r) {
+      recorders.emplace_back(
+          std::make_unique<obs::TraceRecorder>(r, comms[r].get()));
+    }
   }
 
   std::vector<std::exception_ptr> errors(p_);
@@ -38,6 +50,8 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
     threads.reserve(p_);
     for (int r = 0; r < p_; ++r) {
       threads.emplace_back([&, r] {
+        obs::ThreadRecorderScope trace_scope(
+            recorders.empty() ? nullptr : recorders[r].get());
         try {
           program(*comms[r]);
           // Fold disk blocks accrued after the last collective into the
@@ -69,8 +83,13 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
       comms[r]->stats_.sim_time_s = comms[r]->local_time_;
       stats_[r] = comms[r]->stats_;
     }
+    if (trace_sink_ != nullptr) {
+      for (int r = 0; r < p_; ++r) trace_sink_->Absorb(recorders[r]->Finish());
+    }
     return;
   }
+  // Aborted Run: recorders are dropped without Absorb — trace output, like
+  // stats(), only ever describes successful Runs.
 
   // Aborted Run: identify the root cause, preserve flagged partial metrics
   // for forensics, and re-arm the shared state (arrive_and_drop permanently

@@ -31,6 +31,7 @@
 #include "net/fault.h"
 #include "net/metrics.h"
 #include "net/params.h"
+#include "obs/trace.h"
 
 namespace sncube {
 
@@ -64,11 +65,17 @@ class Cluster {
   // collective receives a ClusterAbortedError, the partial metrics are
   // preserved in last_failure(), and Run rethrows a ClusterAbortedError
   // naming the root-cause rank and superstep. The cluster remains fully
-  // usable: a subsequent Run starts from a fresh barrier and exchange board,
-  // and its metrics are unpolluted by the failed attempt.
+  // usable: a subsequent Run starts from a fresh barrier and exchange board.
   //
-  // May be called repeatedly; metrics of successful Runs accumulate until
-  // ResetStats().
+  // Metrics reset policy (run-scoped, DESIGN.md §10): every Run — retry or
+  // not — starts all per-rank counters, phase stats, superstep counts, disk
+  // counters, and the simulated clock from zero. After a successful Run,
+  // stats()/SimTimeSeconds()/BytesSent() describe exactly that Run; an
+  // aborted Run never touches them (its flagged partials live only in
+  // last_failure()). So a retry-after-fault reports the same numbers as a
+  // clean first run, and trace summaries are never polluted by the failed
+  // attempt. Accumulate across Runs at the call site if that is what you
+  // want — nothing here does it for you.
   void Run(const std::function<void(Comm&)>& program);
 
   // Faults injected into subsequent Run calls (deterministic given the plan
@@ -81,17 +88,28 @@ class Cluster {
     return last_failure_;
   }
 
-  // Valid after Run. stats()[r] are rank r's accumulated metrics.
+  // When set, every subsequent successful Run records a per-rank span/comm
+  // trace (simulated-clock timestamps) and deposits it into `sink`; traces
+  // of aborted Runs are discarded, matching the metrics policy. The sink
+  // must outlive the Runs; pass nullptr to turn tracing back off. Tracing
+  // off (the default) costs one thread-local check per span site.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Valid after a successful Run. stats()[r] are rank r's metrics for the
+  // most recent successful Run (run-scoped — see Run).
   const std::vector<RankStats>& stats() const { return stats_; }
 
-  // Simulated parallel wall-clock time: max over ranks of the final BSP
-  // clock (seconds).
+  // Simulated parallel wall-clock time of the most recent successful Run:
+  // max over ranks of the final BSP clock (seconds).
   double SimTimeSeconds() const;
 
   // Sum over ranks of bytes sent in phases whose label starts with `prefix`
-  // (empty prefix = all phases).
+  // (empty prefix = all phases), for the most recent successful Run.
   std::uint64_t BytesSent(const std::string& prefix = "") const;
 
+  // Clears stats() (e.g. between experiment repetitions that reuse a
+  // cluster but want "no run yet" readings). Run itself is already
+  // run-scoped, so this is never needed for correctness between Runs.
   void ResetStats();
 
  private:
@@ -102,6 +120,7 @@ class Cluster {
   CostParams cost_;
   DiskParams disk_params_;
   FaultPlan fault_plan_;
+  obs::TraceSink* trace_sink_ = nullptr;
   std::unique_ptr<Shared> shared_;
   std::vector<RankStats> stats_;
   std::optional<FailureReport> last_failure_;

@@ -70,6 +70,17 @@ void Comm::ChargeSortRecords(std::uint64_t n) {
   ChargeCpu(static_cast<double>(n) * levels * cost_.cpu_sort_record_s);
 }
 
+double Comm::SimNowSeconds() const {
+  const std::uint64_t pending = disk_.blocks_total() - charged_blocks_;
+  return local_time_ +
+         static_cast<double>(pending) * cost_.disk_block_s * slowdown_;
+}
+
+void Comm::TraceComm(std::uint64_t bytes_out, std::uint64_t bytes_in) {
+  obs::TraceRecorder* rec = obs::CurrentRecorder();
+  if (rec != nullptr) rec->RecordComm(bytes_out, bytes_in);
+}
+
 PhaseStats& Comm::SyncPrologue() {
   // The kill check runs before anything is staged or published: a killed
   // rank never arrives at this collective's barrier, exactly like a process
@@ -118,6 +129,7 @@ void Comm::AdvanceClock(PhaseStats& ps, std::uint64_t bytes_out,
   ps.bytes_sent += bytes_out;
   ps.bytes_received += bytes_in;
   ps.messages += msgs;
+  TraceComm(bytes_out, bytes_in);
 }
 
 std::vector<ByteBuffer> Comm::AllToAllv(std::vector<ByteBuffer> send) {
@@ -180,8 +192,10 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
   if (rank_ == root) {
     ps.bytes_sent += payload * static_cast<std::uint64_t>(size_ - 1);
     ps.messages += static_cast<std::uint64_t>(size_ - 1);
+    TraceComm(payload * static_cast<std::uint64_t>(size_ - 1), 0);
   } else {
     ps.bytes_received += payload;
+    TraceComm(0, payload);
   }
   ArriveAndCheck();  // B
 
@@ -256,6 +270,7 @@ void Comm::Barrier() {
   const double t_new = t_base + TreeDepth(size_) * cost_.net_latency_s;
   ps.net_s += t_new - local_time_;
   local_time_ = t_new;
+  TraceComm(0, 0);
   ArriveAndCheck();  // B: times consumed
 }
 

@@ -33,13 +33,17 @@
 #include "net/fault.h"
 #include "net/metrics.h"
 #include "net/params.h"
+#include "obs/trace.h"
 #include "relation/serialize.h"
 
 namespace sncube {
 
 class Cluster;
 
-class Comm {
+// Comm doubles as the trace clock (obs::SimClockSource): spans recorded on
+// a rank thread are stamped with that rank's simulated local time, so traces
+// are deterministic and wall-clock-free like every other figure input.
+class Comm : public obs::SimClockSource {
  public:
   int rank() const { return rank_; }
   int size() const { return size_; }
@@ -61,6 +65,15 @@ class Comm {
   DiskModel& disk() { return disk_; }
 
   double LocalTime() const { return local_time_; }
+
+  // The simulated clock as the tracer sees it: local time plus disk blocks
+  // accrued since the last fold (so a span around pure disk work has a
+  // nonzero duration even before the next collective charges it).
+  double SimNowSeconds() const;
+
+  // obs::SimClockSource.
+  double TraceNowSeconds() const override { return SimNowSeconds(); }
+  std::uint64_t TraceSuperstep() const override { return supersteps_; }
 
   // ---- collectives (superstep boundaries) ---------------------------------
   // The h-relation: send[k] goes to rank k; returns the p buffers received
@@ -88,7 +101,7 @@ class Comm {
   // index the fault injector and abort reports count in).
   std::uint64_t supersteps() const { return supersteps_; }
 
-  // Metrics accumulated so far for this rank (phase → stats).
+  // Metrics accumulated so far for this rank in this Run (phase → stats).
   const RankStats& stats() const { return stats_; }
 
  private:
@@ -112,6 +125,9 @@ class Comm {
   // ClusterAbortedError when some rank failed instead of letting this rank
   // run on into mismatched supersteps.
   void ArriveAndCheck();
+  // Hands the just-completed collective's traffic to this thread's trace
+  // recorder, if one is installed (one TLS load + branch otherwise).
+  void TraceComm(std::uint64_t bytes_out, std::uint64_t bytes_in);
 
   Cluster& cluster_;
   int rank_;

@@ -33,11 +33,15 @@ struct PhaseStats {
   }
 };
 
+// All fields are run-scoped: a RankStats describes exactly one Run (the
+// most recent successful one, via Cluster::stats(), or a doomed one inside
+// FailureReport::partial_stats). Nothing accumulates across Runs — see the
+// reset policy on Cluster::Run.
 struct RankStats {
   std::map<std::string, PhaseStats> phases;
   // Final simulated local clock (seconds since Run began).
   double sim_time_s = 0;
-  // Collectives this rank entered (accumulates across Runs like phases).
+  // Collectives this rank entered during the Run.
   std::uint64_t supersteps = 0;
   // True only inside Cluster::FailureReport::partial_stats, for ranks whose
   // program threw: their clocks and counters stop wherever the failure hit

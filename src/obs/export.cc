@@ -1,0 +1,218 @@
+#include "obs/export.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/jsonf.h"
+
+namespace sncube::obs {
+namespace {
+
+using internal::AppendInt;
+using internal::AppendMicros;
+using internal::AppendQuoted;
+using internal::AppendSeconds;
+using internal::AppendU64;
+
+// "partition" or "partition/3" — the only place index becomes text.
+std::string SpanLabel(const SpanRecord& s) {
+  std::string label = s.name == nullptr ? "?" : s.name;
+  if (s.index >= 0) {
+    label += '/';
+    label += std::to_string(s.index);
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<RankTrace>& ranks) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"sncube\"}}";
+  for (const RankTrace& rt : ranks) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    AppendInt(out, rt.rank);
+    out += ",\"args\":{\"name\":\"rank ";
+    AppendInt(out, rt.rank);
+    out += "\"}}";
+  }
+  for (const RankTrace& rt : ranks) {
+    for (const SpanRecord& s : rt.spans) {
+      out += ",\n{\"name\":";
+      AppendQuoted(out, SpanLabel(s));
+      out += ",\"ph\":\"X\",\"pid\":0,\"tid\":";
+      AppendInt(out, rt.rank);
+      out += ",\"ts\":";
+      AppendMicros(out, s.begin_s * 1e6);
+      out += ",\"dur\":";
+      AppendMicros(out, (s.end_s - s.begin_s) * 1e6);
+      out += ",\"args\":{\"superstep_begin\":";
+      AppendU64(out, s.begin_superstep);
+      out += ",\"superstep_end\":";
+      AppendU64(out, s.end_superstep);
+      out += "}}";
+    }
+    // Per-rank comm volume as a counter series; separate series names per
+    // rank because Chrome keys counters by (pid, name).
+    for (const CommRecord& c : rt.comms) {
+      out += ",\n{\"name\":\"comm bytes rank ";
+      AppendInt(out, rt.rank);
+      out += "\",\"ph\":\"C\",\"pid\":0,\"tid\":";
+      AppendInt(out, rt.rank);
+      out += ",\"ts\":";
+      AppendMicros(out, c.time_s * 1e6);
+      out += ",\"args\":{\"out\":";
+      AppendU64(out, c.bytes_out);
+      out += ",\"in\":";
+      AppendU64(out, c.bytes_in);
+      out += "}}";
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\","
+         "\"otherData\":{\"clock\":\"simulated\",\"time_unit\":\"us\"}}\n";
+  return out;
+}
+
+double SpanCoverage(const std::vector<RankTrace>& ranks) {
+  double covered = 0;
+  double total = 0;
+  for (const RankTrace& rt : ranks) {
+    total += rt.end_time_s;
+    for (const SpanRecord& s : rt.spans) {
+      if (s.depth == 0) covered += s.end_s - s.begin_s;
+    }
+  }
+  if (total <= 0) return 0;
+  const double frac = covered / total;
+  return frac > 1.0 ? 1.0 : frac;
+}
+
+std::string RunSummaryJson(const std::vector<RankStats>& stats,
+                           double sim_time_s,
+                           const std::vector<RankTrace>* trace,
+                           const MetricsRegistry* metrics) {
+  const std::size_t p = stats.size();
+
+  // Union of phase labels over ranks → per-rank second and byte matrices.
+  struct PhaseRow {
+    std::vector<double> per_rank_s;
+    PhaseStats total;
+  };
+  std::map<std::string, PhaseRow> rows;
+  for (std::size_t r = 0; r < p; ++r) {
+    for (const auto& [name, ps] : stats[r].phases) {
+      PhaseRow& row = rows[name];
+      if (row.per_rank_s.empty()) row.per_rank_s.resize(p, 0.0);
+      row.per_rank_s[r] = ps.cpu_s + ps.disk_s + ps.net_s;
+      row.total += ps;
+    }
+  }
+
+  std::string out = "{\"sim_time_s\":";
+  AppendSeconds(out, sim_time_s);
+  out += ",\"ranks\":";
+  AppendU64(out, p);
+  out += ",\"phases\":{";
+  bool first = true;
+  for (const auto& [name, row] : rows) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ":{\"per_rank_s\":[";
+    for (std::size_t r = 0; r < p; ++r) {
+      if (r != 0) out += ',';
+      AppendSeconds(out, row.per_rank_s[r]);
+    }
+    out += "],\"cpu_s\":";
+    AppendSeconds(out, row.total.cpu_s);
+    out += ",\"disk_s\":";
+    AppendSeconds(out, row.total.disk_s);
+    out += ",\"net_s\":";
+    AppendSeconds(out, row.total.net_s);
+    out += ",\"bytes_sent\":";
+    AppendU64(out, row.total.bytes_sent);
+    out += ",\"bytes_received\":";
+    AppendU64(out, row.total.bytes_received);
+    out += ",\"messages\":";
+    AppendU64(out, row.total.messages);
+    out += ",\"blocks\":";
+    AppendU64(out, row.total.blocks);
+    out += '}';
+  }
+  out += '}';
+
+  if (trace != nullptr) {
+    // Comm volume per superstep, summed over ranks; time is the latest
+    // local clock any rank saw after that collective.
+    struct Step {
+      double time_s = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::map<std::uint64_t, Step> steps;
+    for (const RankTrace& rt : *trace) {
+      for (const CommRecord& c : rt.comms) {
+        Step& st = steps[c.superstep];
+        if (c.time_s > st.time_s) st.time_s = c.time_s;
+        st.bytes += c.bytes_out;
+      }
+    }
+    out += ",\"supersteps\":[";
+    first = true;
+    for (const auto& [k, st] : steps) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"superstep\":";
+      AppendU64(out, k);
+      out += ",\"time_s\":";
+      AppendSeconds(out, st.time_s);
+      out += ",\"bytes\":";
+      AppendU64(out, st.bytes);
+      out += '}';
+    }
+    out += ']';
+  }
+
+  if (metrics != nullptr) {
+    out += ",\"metrics\":";
+    out += metrics->ToJson();
+  }
+  out += "}\n";
+  return out;
+}
+
+void AbsorbRunStats(MetricsRegistry& registry,
+                    const std::vector<RankStats>& stats, double sim_time_s) {
+  PhaseStats total;
+  std::uint64_t supersteps = 0;
+  for (const RankStats& rs : stats) {
+    total += rs.Total();
+    if (rs.supersteps > supersteps) supersteps = rs.supersteps;
+  }
+  registry.GetCounter("net.bytes_sent").Add(total.bytes_sent);
+  registry.GetCounter("net.bytes_received").Add(total.bytes_received);
+  registry.GetCounter("net.messages").Add(total.messages);
+  registry.GetCounter("net.supersteps").Add(supersteps);
+  registry.GetCounter("disk.blocks").Add(total.blocks);
+  registry.GetGauge("time.cpu_s").Add(total.cpu_s);
+  registry.GetGauge("time.disk_s").Add(total.disk_s);
+  registry.GetGauge("time.net_s").Add(total.net_s);
+  registry.GetGauge("run.sim_time_s").Set(sim_time_s);
+  registry.GetGauge("run.ranks").Set(static_cast<double>(stats.size()));
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SncubeIoError("cannot open for write: " + path);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) throw SncubeIoError("short write: " + path);
+}
+
+}  // namespace sncube::obs

@@ -1,0 +1,58 @@
+// Trace & metrics exporters (DESIGN.md §10): Chrome trace_event JSON for
+// timelines, a per-run JSON summary for scripts/benches, and the absorb
+// adapters that feed legacy per-layer stats into a MetricsRegistry.
+//
+// Both exporters are deterministic down to the byte for a given input: keys
+// are sorted (std::map / rank order), doubles use fixed printf formats
+// (obs/jsonf.h), one event per line. The golden-file test in
+// tests/obs_test.cc depends on this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/metrics.h"  // header-only RankStats/PhaseStats (no link dep)
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace sncube::obs {
+
+// Chrome trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+// One process, one thread per rank; every span is a complete ("X") event
+// with ts/dur in simulated microseconds and the superstep range in args;
+// per-rank comm volume is emitted as counter ("C") series.
+std::string ChromeTraceJson(const std::vector<RankTrace>& ranks);
+
+// Fraction of total traced time covered by top-level spans, in [0, 1]:
+// sum over ranks of depth-0 span durations / sum over ranks of end_time_s.
+// The acceptance bar for a build trace is ≥ 0.95 (tests/obs_test.cc).
+double SpanCoverage(const std::vector<RankTrace>& ranks);
+
+// Per-run JSON summary:
+//   {
+//     "sim_time_s": ...,
+//     "ranks": p,
+//     "phases": { "<phase>": {"per_rank_s":[...], "cpu_s":..., "disk_s":...,
+//                             "net_s":..., "bytes_sent":..., ...}, ... },
+//     "supersteps": [{"superstep":k,"time_s":...,"bytes":...}, ...],  // trace
+//     "metrics": {...}                                           // registry
+//   }
+// The phase × rank matrix comes from `stats` (per_rank_s[r] = rank r's
+// cpu+disk+net seconds in the phase). `trace` and `metrics` may be null;
+// their sections are omitted.
+std::string RunSummaryJson(const std::vector<RankStats>& stats,
+                           double sim_time_s,
+                           const std::vector<RankTrace>* trace,
+                           const MetricsRegistry* metrics);
+
+// Feeds one completed Run's per-rank stats into the registry under the
+// DESIGN.md §10 names (net.bytes_sent, disk.blocks, time.cpu_s,
+// run.sim_time_s, ...). Counters accumulate across absorbed runs.
+void AbsorbRunStats(MetricsRegistry& registry,
+                    const std::vector<RankStats>& stats, double sim_time_s);
+
+// Writes `content` to `path` atomically enough for our purposes (truncate +
+// write + close), throwing SncubeIoError with the path on any failure.
+void WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace sncube::obs

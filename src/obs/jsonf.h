@@ -1,0 +1,66 @@
+// Tiny deterministic JSON formatting helpers shared by the obs exporters.
+//
+// Determinism is a contract here, not a nicety: trace and summary output is
+// golden-tested byte-for-byte (tests/obs_test.cc), so every double goes
+// through one fixed printf format and nothing ever depends on locale or
+// iostream state. Not a general JSON library — just enough for the shapes
+// the exporters emit; keys and span names are trusted identifiers (static
+// literals / metric names), only Escape() handles arbitrary text.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sncube::obs::internal {
+
+// Fixed 6-decimal seconds (µs resolution on the sim clock).
+inline void AppendSeconds(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+// Fixed 3-decimal microseconds (ns resolution — Chrome trace `ts`/`dur`).
+inline void AppendMicros(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+inline void AppendU64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+inline void AppendInt(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+// Minimal string escaping for quoted JSON values (error messages, labels).
+inline void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline void AppendQuoted(std::string& out, const std::string& s) {
+  out += '"';
+  AppendEscaped(out, s);
+  out += '"';
+}
+
+}  // namespace sncube::obs::internal

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sncube::obs {
+namespace {
+
+// Thread-local, not global: recorders are installed per rank/worker thread
+// and must never be visible to sibling threads (thread-confined contract).
+thread_local TraceRecorder* g_current_recorder = nullptr;
+
+}  // namespace
+
+TraceRecorder* CurrentRecorder() { return g_current_recorder; }
+
+ThreadRecorderScope::ThreadRecorderScope(TraceRecorder* recorder)
+    : previous_(g_current_recorder) {
+  g_current_recorder = recorder;
+}
+
+ThreadRecorderScope::~ThreadRecorderScope() {
+  g_current_recorder = previous_;
+}
+
+TraceRecorder::TraceRecorder(int rank, const SimClockSource* clock)
+    : rank_(rank), clock_(clock) {
+  SNCUBE_CHECK_MSG(clock != nullptr, "TraceRecorder needs a clock source");
+  // One up-front reservation keeps the common case (a build run records a
+  // few hundred spans) allocation-free after construction.
+  spans_.reserve(256);
+  open_.reserve(16);
+  comms_.reserve(256);
+}
+
+std::int32_t TraceRecorder::OpenSpan(const char* name, std::int32_t index) {
+  const std::int32_t handle = static_cast<std::int32_t>(spans_.size());
+  SpanRecord rec;
+  rec.name = name;
+  rec.index = index;
+  rec.parent = open_.empty() ? -1 : open_.back();
+  rec.depth = static_cast<std::int32_t>(open_.size());
+  rec.begin_s = clock_->TraceNowSeconds();
+  rec.end_s = rec.begin_s;  // until closed
+  rec.begin_superstep = clock_->TraceSuperstep();
+  rec.end_superstep = rec.begin_superstep;
+  spans_.push_back(rec);
+  open_.push_back(handle);
+  return handle;
+}
+
+void TraceRecorder::CloseSpan(std::int32_t handle) {
+  // Spans close LIFO; ScopedSpan/PhaseSpan guarantee it, and exception
+  // unwinds preserve it (destructors run innermost-first).
+  SNCUBE_CHECK_MSG(!open_.empty() && open_.back() == handle,
+                   "trace spans must close LIFO");
+  open_.pop_back();
+  SpanRecord& rec = spans_[static_cast<std::size_t>(handle)];
+  rec.end_s = clock_->TraceNowSeconds();
+  rec.end_superstep = clock_->TraceSuperstep();
+}
+
+void TraceRecorder::RecordComm(std::uint64_t bytes_out,
+                               std::uint64_t bytes_in) {
+  CommRecord rec;
+  // The superstep counter was already bumped for the in-flight collective,
+  // so the entry being recorded is the previous index — the same numbering
+  // the fault injector and abort reports use.
+  const std::uint64_t step = clock_->TraceSuperstep();
+  rec.superstep = step == 0 ? 0 : step - 1;
+  rec.time_s = clock_->TraceNowSeconds();
+  rec.bytes_out = bytes_out;
+  rec.bytes_in = bytes_in;
+  comms_.push_back(rec);
+}
+
+RankTrace TraceRecorder::Finish() {
+  while (!open_.empty()) CloseSpan(open_.back());
+  RankTrace trace;
+  trace.rank = rank_;
+  trace.end_time_s = clock_->TraceNowSeconds();
+  trace.spans = std::move(spans_);
+  trace.comms = std::move(comms_);
+  spans_.clear();
+  comms_.clear();
+  return trace;
+}
+
+void TraceSink::Absorb(RankTrace trace) {
+  MutexLock lock(mu_);
+  ranks_.push_back(std::move(trace));
+}
+
+std::vector<RankTrace> TraceSink::Snapshot() const {
+  std::vector<RankTrace> out;
+  {
+    MutexLock lock(mu_);
+    out = ranks_;
+  }
+  // Deterministic export order even when absorb order raced (serve workers
+  // finish in arbitrary order; cluster ranks absorb sequentially anyway).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankTrace& a, const RankTrace& b) {
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+void TraceSink::Clear() {
+  MutexLock lock(mu_);
+  ranks_.clear();
+}
+
+bool TraceSink::Empty() const {
+  MutexLock lock(mu_);
+  return ranks_.empty();
+}
+
+}  // namespace sncube::obs

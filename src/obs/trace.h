@@ -1,0 +1,241 @@
+// Structured tracing over the simulated BSP clock (DESIGN.md §10).
+//
+// The cube pipeline already *accounts* for time per phase (net/metrics.h);
+// tracing additionally records *when* each piece of work happened, as a tree
+// of nested spans per rank, so a whole run can be laid out on a timeline
+// (Chrome trace_event / Perfetto) and each paper figure's cost can be read
+// off span by span instead of re-deriving it from aggregate counters.
+//
+// Design constraints, in order:
+//
+//   * Deterministic. Spans on the cluster path are stamped from the
+//     simulated BSP clock (SimClockSource, implemented by net::Comm) — never
+//     from wall time. Two runs with the same seed produce byte-identical
+//     traces (golden-tested in tests/obs_test.cc). Serve-layer tracing,
+//     which measures real concurrency, plugs in a wall-clock source instead
+//     (src/serve/wall_clock.h — wall time is banned here by sncheck).
+//   * Near-zero cost when off. `SNCUBE_TRACE_SPAN` compiles to `((void)0)`
+//     when SNCUBE_TRACE_ENABLED is 0. When compiled in but no recorder is
+//     installed (the default — tracing is opt-in per Run), a span site is
+//     one thread-local load and a branch: no allocation, no clock read, no
+//     atomic. tests/obs_test.cc and tests/obs_notrace_test.cc pin both.
+//   * Thread-confined recording. A TraceRecorder belongs to exactly one
+//     thread (a rank thread during Cluster::Run, a worker thread in
+//     CubeServer) and is completely unsynchronized, like Comm itself.
+//     Cross-thread aggregation happens only through TraceSink::Absorb,
+//     which is mutex-guarded and annotated; the hand-off inherits the
+//     happens-before edge of the thread join (Cluster) or the recorder
+//     scope's destruction (serve), keeping the whole path TSan-clean.
+//
+// Span names are `const char*` by contract pointing at string literals (or
+// other static storage): recording a span never copies or hashes a string.
+// Dynamic labels — the dimension-partition index of Procedure 1's loop, a
+// pipeline number — travel in the separate int32 `index` field and are only
+// rendered ("partition/3") at export time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+// Compile-time master switch. Builds that define SNCUBE_TRACE_ENABLED=0
+// erase every SNCUBE_TRACE_SPAN site entirely (macro expands to no code);
+// the library below still compiles so explicitly-written recorder calls
+// (exporters, tests) keep working.
+#ifndef SNCUBE_TRACE_ENABLED
+#define SNCUBE_TRACE_ENABLED 1
+#endif
+
+namespace sncube::obs {
+
+// Where a recorder gets its timestamps. net::Comm implements this over the
+// simulated BSP clock (local accrued seconds, including uncharged disk
+// blocks); serve uses a steady wall clock. Implementations must be cheap —
+// the clock is read twice per span.
+class SimClockSource {
+ public:
+  virtual ~SimClockSource() = default;
+  // Seconds since the run/request began, on this source's clock.
+  virtual double TraceNowSeconds() const = 0;
+  // Superstep counter at this instant (0 where the concept does not apply).
+  virtual std::uint64_t TraceSuperstep() const = 0;
+};
+
+// One closed (or force-closed at Finish) span. Plain data; vectors of these
+// are moved, not copied span-by-span.
+struct SpanRecord {
+  const char* name = nullptr;  // static string literal (see header comment)
+  std::int32_t index = -1;     // dynamic label (e.g. partition i); -1 = none
+  std::int32_t parent = -1;    // position of enclosing span in the rank's
+                               // span vector; -1 = top level
+  std::int32_t depth = 0;      // nesting depth (top level = 0)
+  double begin_s = 0;
+  double end_s = 0;
+  std::uint64_t begin_superstep = 0;
+  std::uint64_t end_superstep = 0;
+};
+
+// One collective crossed by this rank: the superstep index, the clock after
+// the collective, and this rank's traffic through it. Summed across ranks
+// at export time, this is the "comm volume per superstep" series.
+struct CommRecord {
+  std::uint64_t superstep = 0;
+  double time_s = 0;  // local clock after the collective completed
+  std::uint64_t bytes_out = 0;
+  std::uint64_t bytes_in = 0;
+};
+
+// Everything one rank recorded in one run, moved out of the recorder by
+// Finish() and into a TraceSink. `rank` doubles as the worker index for
+// serve-side traces.
+struct RankTrace {
+  int rank = 0;
+  double end_time_s = 0;  // clock at Finish — the trace's local horizon
+  std::vector<SpanRecord> spans;  // in open order; parents precede children
+  std::vector<CommRecord> comms;
+};
+
+// Per-thread span/comm recorder. Strictly thread-confined and unsynchronized
+// (see header comment); install one per rank thread with
+// ThreadRecorderScope, then move the data out with Finish().
+class TraceRecorder {
+ public:
+  TraceRecorder(int rank, const SimClockSource* clock);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  TraceRecorder(TraceRecorder&&) = default;
+  TraceRecorder& operator=(TraceRecorder&&) = default;
+
+  // Opens a nested span; returns a handle for CloseSpan. `name` must point
+  // at static storage. Spans must close LIFO (guaranteed by ScopedSpan).
+  std::int32_t OpenSpan(const char* name, std::int32_t index = -1);
+  void CloseSpan(std::int32_t handle);
+
+  // Records one collective's traffic at the current clock/superstep.
+  void RecordComm(std::uint64_t bytes_out, std::uint64_t bytes_in);
+
+  // Force-closes any spans still open (exception unwinds close them via
+  // RAII, so this is defensive) and moves the recorded data out. The
+  // recorder is empty afterwards and may be reused.
+  RankTrace Finish();
+
+  std::size_t open_depth() const { return open_.size(); }
+  std::size_t span_count() const { return spans_.size(); }
+
+ private:
+  int rank_;
+  const SimClockSource* clock_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::int32_t> open_;  // stack of open handles
+  std::vector<CommRecord> comms_;
+};
+
+// The recorder installed on the calling thread, or nullptr when tracing is
+// off for this thread (the common case — every span site checks this first).
+TraceRecorder* CurrentRecorder();
+
+// RAII installer: makes `recorder` the calling thread's CurrentRecorder for
+// the scope's lifetime, restoring the previous one (normally nullptr) on
+// exit. Passing nullptr is allowed and leaves tracing off — callers can
+// install unconditionally and decide via the pointer.
+class ThreadRecorderScope {
+ public:
+  explicit ThreadRecorderScope(TraceRecorder* recorder);
+  ~ThreadRecorderScope();
+
+  ThreadRecorderScope(const ThreadRecorderScope&) = delete;
+  ThreadRecorderScope& operator=(const ThreadRecorderScope&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+// RAII span over CurrentRecorder(). When no recorder is installed the
+// constructor is a TLS load + branch and the destructor a branch — nothing
+// else. Prefer the macros below, which compile out entirely when disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::int32_t index = -1)
+      : recorder_(CurrentRecorder()) {
+    if (recorder_ != nullptr) handle_ = recorder_->OpenSpan(name, index);
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->CloseSpan(handle_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::int32_t handle_ = -1;
+};
+
+// Manually-driven span for phase sequences that do not nest as C++ scopes:
+// Procedure 1's per-dimension steps (partition → schedule → compute → merge)
+// run in one block but should appear as *sibling* spans. Switch() closes the
+// current span (if any) and opens the next; the destructor closes whatever
+// is open. Mirrors the shape of Comm::SetPhase call sites.
+class PhaseSpan {
+ public:
+  PhaseSpan() = default;
+  ~PhaseSpan() { Close(); }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  void Switch(const char* name, std::int32_t index = -1) {
+    Close();
+    recorder_ = CurrentRecorder();
+    if (recorder_ != nullptr) handle_ = recorder_->OpenSpan(name, index);
+  }
+  void Close() {
+    if (recorder_ != nullptr) {
+      recorder_->CloseSpan(handle_);
+      recorder_ = nullptr;
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::int32_t handle_ = -1;
+};
+
+// Thread-safe collector of finished per-rank traces. Rank threads (or serve
+// workers) each Absorb their RankTrace exactly once; the driver thread
+// reads Snapshot() after joining them. Snapshot orders by rank id so that
+// export output is deterministic regardless of absorb order.
+class TraceSink {
+ public:
+  void Absorb(RankTrace trace) SNCUBE_EXCLUDES(mu_);
+  std::vector<RankTrace> Snapshot() const SNCUBE_EXCLUDES(mu_);
+  void Clear() SNCUBE_EXCLUDES(mu_);
+  bool Empty() const SNCUBE_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<RankTrace> ranks_ SNCUBE_GUARDED_BY(mu_);
+};
+
+}  // namespace sncube::obs
+
+#define SNCUBE_TRACE_CONCAT_INNER(a, b) a##b
+#define SNCUBE_TRACE_CONCAT(a, b) SNCUBE_TRACE_CONCAT_INNER(a, b)
+
+#if SNCUBE_TRACE_ENABLED
+// Span covering the rest of the enclosing scope. `name` must be a string
+// literal; use the _IDX form to attach a dynamic integer label.
+#define SNCUBE_TRACE_SPAN(name)                                        \
+  ::sncube::obs::ScopedSpan SNCUBE_TRACE_CONCAT(sncube_trace_span_,    \
+                                                __LINE__)(name)
+#define SNCUBE_TRACE_SPAN_IDX(name, idx)                               \
+  ::sncube::obs::ScopedSpan SNCUBE_TRACE_CONCAT(sncube_trace_span_,    \
+                                                __LINE__)(             \
+      name, static_cast<std::int32_t>(idx))
+#else
+#define SNCUBE_TRACE_SPAN(name) ((void)0)
+#define SNCUBE_TRACE_SPAN_IDX(name, idx) ((void)0)
+#endif

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "relation/aggregate.h"
 #include "relation/sort.h"
 
@@ -13,6 +14,7 @@ namespace sncube {
 CubeQueryEngine::CubeQueryEngine(const CubeResult& cube) : cube_(cube) {}
 
 ViewId CubeQueryEngine::Route(const Query& query) const {
+  SNCUBE_TRACE_SPAN("query-route");
   ViewId needed = query.group_by;
   for (const auto& f : query.filters) needed = needed.With(f.dim);
 
@@ -35,6 +37,7 @@ ViewId CubeQueryEngine::Route(const Query& query) const {
 }
 
 QueryAnswer CubeQueryEngine::Execute(const Query& query) const {
+  SNCUBE_TRACE_SPAN("query-exec");
   const ViewId source = Route(query);
   const ViewResult& vr = cube_.views.at(source);
 

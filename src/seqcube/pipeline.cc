@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "io/external_sort.h"
+#include "obs/trace.h"
 #include "relation/sort.h"
 
 namespace sncube {
@@ -133,6 +134,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
 
   // Root pipeline: scan descendants fall out of the already-sorted root.
   {
+    SNCUBE_TRACE_SPAN("pipe-root");
     const Relation& src = result.views.at(root.view).rel;
     const int sc = tree.ScanChild(ScheduleTree::kRootIndex);
     if (sc >= 0) {
@@ -147,6 +149,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
   for (int i = 1; i < tree.size(); ++i) {
     const ScheduleNode& n = tree.node(i);
     if (n.edge != EdgeKind::kSort) continue;
+    SNCUBE_TRACE_SPAN_IDX("pipeline", i);
     const ScheduleNode& parent = tree.node(n.parent);
     const auto it = result.views.find(parent.view);
     SNCUBE_CHECK_MSG(it != result.views.end(), "parent not materialized");

@@ -24,6 +24,16 @@ void LatencyHistogram::Record(std::uint64_t micros) {
   }
 }
 
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
 LatencySnapshot LatencyHistogram::Snapshot() const {
   std::array<std::uint64_t, kBuckets> counts;
   LatencySnapshot snap;

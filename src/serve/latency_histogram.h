@@ -58,6 +58,11 @@ class LatencyHistogram {
 
   LatencySnapshot Snapshot() const;
 
+  // Raw bucket counts (relaxed loads), for export into the unified metrics
+  // registry (obs::Histogram uses the identical bucket scheme, so counts
+  // transfer index-for-index — see serve/metrics_bridge.h).
+  std::array<std::uint64_t, kBuckets> BucketCounts() const;
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_us_{0};

@@ -1,0 +1,36 @@
+#include "serve/metrics_bridge.h"
+
+namespace sncube {
+
+void AbsorbServerStats(obs::MetricsRegistry& registry,
+                       const CubeServer& server) {
+  const StatsSnapshot s = server.Stats();
+  registry.GetCounter("serve.accepted").Add(s.accepted);
+  registry.GetCounter("serve.rejected").Add(s.rejected);
+  registry.GetCounter("serve.completed").Add(s.completed);
+  registry.GetCounter("serve.failed").Add(s.failed);
+  registry.GetCounter("serve.timed_out").Add(s.timed_out);
+  registry.GetCounter("serve.cache.hits").Add(s.cache.hits);
+  registry.GetCounter("serve.cache.misses").Add(s.cache.misses);
+  registry.GetCounter("serve.cache.inserts").Add(s.cache.inserts);
+  registry.GetCounter("serve.cache.evictions").Add(s.cache.evictions);
+  registry.GetGauge("serve.cache.bytes").Set(static_cast<double>(s.cache.bytes));
+  registry.GetGauge("serve.cache.entries")
+      .Set(static_cast<double>(s.cache.entries));
+  registry.GetGauge("serve.cache.hit_rate").Set(s.hit_rate());
+  registry.GetGauge("serve.queue_depth").Set(static_cast<double>(s.queue_depth));
+
+  // Bucket-for-bucket transfer: LatencyHistogram and obs::Histogram share
+  // the power-of-two bucket scheme, so quantiles survive the copy.
+  obs::Histogram& h = registry.GetHistogram("serve.latency_us");
+  const auto counts = server.latency_histogram().BucketCounts();
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (counts[static_cast<std::size_t>(i)] != 0) {
+      h.AddBucketCount(i, counts[static_cast<std::size_t>(i)]);
+    }
+  }
+  h.AddSum(s.latency.sum_us);
+  h.MergeMax(s.latency.max_us);
+}
+
+}  // namespace sncube

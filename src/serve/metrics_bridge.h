@@ -1,0 +1,20 @@
+// Bridges the serving layer's counters into the unified MetricsRegistry.
+//
+// CubeServer keeps its hot-path metrics in purpose-built lock-free
+// structures (atomic counters, LatencyHistogram); this adapter copies one
+// point-in-time snapshot of them into a registry under the DESIGN.md §10
+// names (serve.accepted, serve.cache.hits, serve.latency_us, ...), so a
+// serve run reports through the same sink as a build run. Counters in the
+// registry accumulate — absorb once per server lifetime (at shutdown), not
+// periodically, unless accumulation is what you want.
+#pragma once
+
+#include "obs/metrics_registry.h"
+#include "serve/server.h"
+
+namespace sncube {
+
+void AbsorbServerStats(obs::MetricsRegistry& registry,
+                       const CubeServer& server);
+
+}  // namespace sncube

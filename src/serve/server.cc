@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <optional>
 #include <sstream>
 
 #include "common/status.h"
@@ -37,7 +38,7 @@ CubeServer::CubeServer(const CubeResult& cube, ServerOptions options)
   live_workers_ = options_.workers;
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -82,7 +83,14 @@ std::shared_ptr<const QueryAnswer> CubeServer::Execute(const Query& query) {
   return result;
 }
 
-void CubeServer::WorkerLoop() {
+void CubeServer::WorkerLoop(int worker) {
+  // Per-worker trace recorder (worker index doubles as the trace "rank").
+  // Thread-confined for the worker's whole life; absorbed into the sink
+  // exactly once, after the worker leaves the serving loop.
+  std::optional<obs::TraceRecorder> recorder;
+  if (options_.trace != nullptr) recorder.emplace(worker, &trace_clock_);
+  obs::ThreadRecorderScope trace_scope(recorder ? &*recorder : nullptr);
+
   for (;;) {
     Request req;
     {
@@ -92,16 +100,18 @@ void CubeServer::WorkerLoop() {
         // Stopping and fully drained: retire. The last worker out wakes
         // every Shutdown caller blocked on quiescence.
         if (--live_workers_ == 0) drained_cv_.NotifyAll();
-        return;
+        break;
       }
       req = std::move(queue_.front());
       queue_.pop_front();
     }
     Process(req);
   }
+  if (recorder) options_.trace->Absorb(recorder->Finish());
 }
 
 void CubeServer::Process(Request& req) {
+  SNCUBE_TRACE_SPAN("request");
   // Deadline check at dequeue: a request that already waited past its
   // deadline is dropped without doing the query work — the client stopped
   // waiting, so executing it would only delay requests that can still make
@@ -113,7 +123,11 @@ void CubeServer::Process(Request& req) {
     return;
   }
 
-  std::shared_ptr<const QueryAnswer> answer = cache_.Get(req.key);
+  std::shared_ptr<const QueryAnswer> answer;
+  {
+    SNCUBE_TRACE_SPAN("cache-lookup");
+    answer = cache_.Get(req.key);
+  }
   if (answer == nullptr) {
     try {
       answer = std::make_shared<const QueryAnswer>(engine_.Execute(req.query));

@@ -37,9 +37,11 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "serve/latency_histogram.h"
 #include "serve/result_cache.h"
+#include "serve/wall_clock.h"
 
 namespace sncube {
 
@@ -54,6 +56,11 @@ struct ServerOptions {
   // disables deadlines. Under overload this sheds exactly the requests whose
   // answers the client has already given up on.
   std::chrono::milliseconds deadline{0};
+  // When set, every worker records a wall-clock span trace ("request" →
+  // "cache-lookup"/"query-exec"/...; rank = worker index) and deposits it
+  // here when it retires at Shutdown. The sink must outlive the server.
+  // Null (the default) keeps the hot path trace-free.
+  obs::TraceSink* trace = nullptr;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -122,6 +129,10 @@ class CubeServer {
   StatsSnapshot Stats() const SNCUBE_EXCLUDES(mu_);
   const ServerOptions& options() const { return options_; }
 
+  // The raw latency histogram, for export into a MetricsRegistry
+  // (serve/metrics_bridge.h). Safe to read concurrently with serving.
+  const LatencyHistogram& latency_histogram() const { return latency_; }
+
  private:
   struct Request {
     Query query;
@@ -130,13 +141,16 @@ class CubeServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop() SNCUBE_EXCLUDES(mu_);
+  void WorkerLoop(int worker) SNCUBE_EXCLUDES(mu_);
   void Process(Request& req);
 
   const ServerOptions options_;
   CubeQueryEngine engine_;
   ResultCache cache_;
   LatencyHistogram latency_;
+  // Shared trace epoch for all workers (immutable after construction; only
+  // read when options_.trace is set).
+  WallClockSource trace_clock_;
 
   mutable Mutex mu_;
   CondVar queue_cv_;    // signaled on enqueue and on shutdown

@@ -1,0 +1,37 @@
+// Wall-clock trace source for the serving layer.
+//
+// Cluster-side traces run on the simulated BSP clock (net::Comm implements
+// obs::SimClockSource) and are deterministic by construction. The serving
+// layer measures *real* concurrency — worker interleaving, queueing, cache
+// contention — so its traces are stamped from a steady wall clock instead.
+// This lives in src/serve (not src/obs) deliberately: sncheck bans wall
+// clock reads in the charged paths (src/core, src/io, src/net, src/obs),
+// and the serving layer is the one place the ban does not apply.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/trace.h"
+
+namespace sncube {
+
+// Seconds since construction, shared by any number of threads (the epoch is
+// immutable after the constructor).
+class WallClockSource final : public obs::SimClockSource {
+ public:
+  WallClockSource() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double TraceNowSeconds() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  // Supersteps are a BSP concept; serve traces have none.
+  std::uint64_t TraceSuperstep() const override { return 0; }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace sncube

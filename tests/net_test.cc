@@ -247,7 +247,10 @@ TEST(Cluster, RankExceptionPropagatesNamingTheRank) {
   EXPECT_DOUBLE_EQ(cluster.SimTimeSeconds(), 0.0);
 }
 
-TEST(Cluster, RunTwiceAccumulatesStats) {
+// The reset policy (cluster.h): metrics are run-scoped. A second Run reports
+// exactly what that Run did — nothing carried over from the first — and the
+// simulated clock, supersteps, and phase stats all restart from zero.
+TEST(Cluster, MetricsAreRunScoped) {
   Cluster cluster(2);
   auto program = [&](Comm& comm) {
     std::vector<ByteBuffer> send(2);
@@ -255,10 +258,46 @@ TEST(Cluster, RunTwiceAccumulatesStats) {
     comm.AllToAllv(std::move(send));
   };
   cluster.Run(program);
+  const double t1 = cluster.SimTimeSeconds();
+  EXPECT_EQ(cluster.BytesSent(), 100u);
   cluster.Run(program);
-  EXPECT_EQ(cluster.BytesSent(), 200u);
+  EXPECT_EQ(cluster.BytesSent(), 100u);  // not 200: second Run stands alone
+  EXPECT_DOUBLE_EQ(cluster.SimTimeSeconds(), t1);
+  for (const auto& rs : cluster.stats()) {
+    EXPECT_EQ(rs.supersteps, 1u);
+  }
   cluster.ResetStats();
   EXPECT_EQ(cluster.BytesSent(), 0u);
+}
+
+// A heavier first Run must leave no trace in a lighter second Run's numbers
+// (the inconsistency this policy replaced: phases and supersteps used to
+// accumulate across Runs while sim_time_s was overwritten per Run).
+TEST(Cluster, SecondRunUnpollutedByHeavierFirstRun) {
+  Cluster cluster(2);
+  cluster.Run([&](Comm& comm) {
+    comm.SetPhase("heavy");
+    comm.ChargeScanRecords(1'000'000);
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(5000);
+    comm.AllToAllv(std::move(send));
+    comm.Barrier();
+  });
+  EXPECT_EQ(cluster.BytesSent(), 10000u);
+  const double heavy_time = cluster.SimTimeSeconds();
+
+  cluster.Run([&](Comm& comm) {
+    std::vector<ByteBuffer> send(2);
+    send[1 - comm.rank()] = ByteBuffer(10);
+    comm.AllToAllv(std::move(send));
+  });
+  EXPECT_EQ(cluster.BytesSent(), 20u);
+  EXPECT_LT(cluster.SimTimeSeconds(), heavy_time);
+  for (const auto& rs : cluster.stats()) {
+    EXPECT_EQ(rs.supersteps, 1u);
+    // The first Run's phase label is gone entirely.
+    EXPECT_EQ(rs.phases.count("heavy"), 0u);
+  }
 }
 
 TEST(Cluster, DeterministicSimTime) {

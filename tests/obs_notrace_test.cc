@@ -1,0 +1,48 @@
+// Compiled with SNCUBE_TRACE_ENABLED=0 (see tests/CMakeLists.txt): proves
+// the span macros erase completely at compile time — even with a recorder
+// installed on the thread, a macro site records nothing, because the macro
+// expands to no code at all. This is the "tracing disabled costs zero"
+// half of the DESIGN.md §10 overhead budget; obs_test.cc covers the
+// runtime-disabled (no recorder installed) half.
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+static_assert(SNCUBE_TRACE_ENABLED == 0,
+              "this test must be compiled with -DSNCUBE_TRACE_ENABLED=0");
+
+namespace sncube {
+namespace {
+
+class FixedClock final : public obs::SimClockSource {
+ public:
+  double TraceNowSeconds() const override { return 1.0; }
+  std::uint64_t TraceSuperstep() const override { return 0; }
+};
+
+TEST(TraceDisabled, MacrosCompileToNothingEvenWithRecorderInstalled) {
+  FixedClock clock;
+  obs::TraceRecorder rec(0, &clock);
+  obs::ThreadRecorderScope scope(&rec);
+  {
+    SNCUBE_TRACE_SPAN("erased");
+    SNCUBE_TRACE_SPAN_IDX("also-erased", 3);
+  }
+  EXPECT_EQ(rec.span_count(), 0u);
+  const obs::RankTrace t = rec.Finish();
+  EXPECT_TRUE(t.spans.empty());
+  EXPECT_TRUE(t.comms.empty());
+}
+
+TEST(TraceDisabled, ExplicitRecorderCallsStillWork) {
+  // The library itself stays functional when the macros are off — only the
+  // instrumentation sites vanish.
+  FixedClock clock;
+  obs::TraceRecorder rec(0, &clock);
+  const auto h = rec.OpenSpan("explicit");
+  rec.CloseSpan(h);
+  EXPECT_EQ(rec.Finish().spans.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sncube

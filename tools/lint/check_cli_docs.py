@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""check_cli_docs — every CLI flag must be documented in README.md.
+
+`sncube help` is the single source of truth for the flag surface (the CLI
+prints kHelpText from tools/sncube_cli.cc). This check extracts every
+`--flag` token from that output and requires each one to appear somewhere
+in README.md, so a flag cannot ship undocumented: adding it to the parser
+without adding it to kHelpText leaves it unusable, adding it to kHelpText
+without a README write-up fails `ctest -L lint`.
+
+Usage:
+    check_cli_docs.py --binary build/tools/sncube --readme README.md
+    check_cli_docs.py --help-text help.txt      --readme README.md
+
+--binary runs `<binary> help` and checks its stdout; --help-text reads a
+saved help text instead (used by the self-test fixtures, and handy for
+checking a doc change without building).
+
+Exit status: 0 documented, 1 missing flags, 2 usage/tool error.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def extract_flags(text):
+    return sorted(set(FLAG_RE.findall(text)))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="check_cli_docs",
+        description="require every `sncube help` flag to appear in README.md")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--binary", help="sncube binary; runs `<binary> help`")
+    source.add_argument("--help-text", help="file holding saved help output")
+    parser.add_argument("--readme", required=True, help="README.md to check")
+    args = parser.parse_args(argv)
+
+    if args.binary:
+        proc = subprocess.run([args.binary, "help"],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"check_cli_docs: `{args.binary} help` exited "
+                  f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+            return 2
+        help_text = proc.stdout
+    else:
+        try:
+            with open(args.help_text, encoding="utf-8") as f:
+                help_text = f.read()
+        except OSError as e:
+            print(f"check_cli_docs: {e}", file=sys.stderr)
+            return 2
+
+    try:
+        with open(args.readme, encoding="utf-8") as f:
+            readme = f.read()
+    except OSError as e:
+        print(f"check_cli_docs: {e}", file=sys.stderr)
+        return 2
+
+    flags = extract_flags(help_text)
+    if not flags:
+        print("check_cli_docs: no --flags found in help output — "
+              "is the help text empty?", file=sys.stderr)
+        return 2
+
+    documented = set(extract_flags(readme))
+    missing = [f for f in flags if f not in documented]
+    for flag in missing:
+        print(f"{args.readme}: flag `{flag}` from `sncube help` is not "
+              f"documented")
+    if missing:
+        print(f"check_cli_docs: {len(missing)} of {len(flags)} flag(s) "
+              f"undocumented", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

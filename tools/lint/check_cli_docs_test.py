@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Self-test for check_cli_docs: the pass fixture must be clean, the fail
+fixture must flag exactly the two undocumented flags, and degenerate inputs
+must exit 2. Run via ctest (`check_cli_docs_selftest`) or directly."""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECK = os.path.join(HERE, "check_cli_docs.py")
+FIXTURES = os.path.join(HERE, "testdata", "cli_docs")
+
+failures = []
+
+
+def check(condition, message):
+    if not condition:
+        failures.append(message)
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, CHECK, *argv],
+                          capture_output=True, text=True)
+
+
+help_txt = os.path.join(FIXTURES, "help.txt")
+
+# --- fully documented README: clean exit ------------------------------------
+proc = run("--help-text", help_txt,
+           "--readme", os.path.join(FIXTURES, "readme_pass.md"))
+check(proc.returncode == 0,
+      f"readme_pass: expected exit 0, got {proc.returncode}:\n{proc.stdout}")
+
+# --- two missing flags: exit 1, both named ----------------------------------
+proc = run("--help-text", help_txt,
+           "--readme", os.path.join(FIXTURES, "readme_fail.md"))
+check(proc.returncode == 1,
+      f"readme_fail: expected exit 1, got {proc.returncode}")
+for flag in ("--procs", "--trace-out"):
+    check(f"`{flag}`" in proc.stdout,
+          f"readme_fail: missing finding for {flag}:\n{proc.stdout}")
+check(proc.stdout.count("not documented") == 2,
+      f"readme_fail: expected exactly 2 findings:\n{proc.stdout}")
+
+# --- degenerate inputs: usage errors, not silent passes ---------------------
+proc = run("--help-text", os.path.join(FIXTURES, "no_such_file.txt"),
+           "--readme", os.path.join(FIXTURES, "readme_pass.md"))
+check(proc.returncode == 2, "missing help file: expected exit 2")
+
+proc = run("--help-text", os.path.join(FIXTURES, "readme_pass.md"),
+           "--readme", os.path.join(FIXTURES, "no_such_file.md"))
+check(proc.returncode == 2, "missing readme: expected exit 2")
+
+proc = run("--help-text", os.devnull,
+           "--readme", os.path.join(FIXTURES, "readme_pass.md"))
+check(proc.returncode == 2, "empty help text: expected exit 2")
+
+if failures:
+    print("check_cli_docs_test: FAIL")
+    for f in failures:
+        print(" -", f)
+    sys.exit(1)
+print("check_cli_docs_test: OK")

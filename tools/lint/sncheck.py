@@ -4,13 +4,16 @@
 Enforces invariants no off-the-shelf checker knows about, as compile-time
 (well, lint-time) facts instead of code-review folklore. Rules:
 
-  wall-clock       src/core, src/io, src/net must not read host time
-                   (system_clock/steady_clock/time()/...). Simulated time
-                   flows only through the BSP clock (Comm::Charge*) and
+  wall-clock       src/core, src/io, src/net, src/obs must not read host
+                   time (system_clock/steady_clock/time()/...). Simulated
+                   time flows only through the BSP clock (Comm::Charge*) and
                    DiskModel; a host-clock read in a simulation-charged path
-                   silently corrupts every figure. (src/serve measures real
-                   serving latency and is exempt; src/common/timer.h is the
-                   one sanctioned wall-clock wrapper for benches.)
+                   silently corrupts every figure, and a host-clock read in
+                   src/obs would make traces nondeterministic (golden-file
+                   tested). (src/serve measures real serving latency and is
+                   exempt — serve-side traces get wall time through
+                   serve/wall_clock.h; src/common/timer.h is the one
+                   sanctioned wall-clock wrapper for benches.)
 
   raw-wire-bytes   src/net and src/serve must not memcpy/reinterpret_cast
                    raw buffer bytes outside net/wire.h. Wire buffers can be
@@ -53,7 +56,7 @@ import sys
 RULES = [
     {
         "id": "wall-clock",
-        "paths": ("src/core/", "src/io/", "src/net/"),
+        "paths": ("src/core/", "src/io/", "src/net/", "src/obs/"),
         "exempt": (),
         "pattern": re.compile(
             r"system_clock|steady_clock|high_resolution_clock"

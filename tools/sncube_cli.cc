@@ -34,35 +34,93 @@
 #include "data/generator.h"
 #include "lattice/lattice.h"
 #include "net/cluster.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "query/greedy_select.h"
 #include "relation/csv.h"
 #include "seqcube/seq_cube.h"
 #include "seqcube/view_store.h"
+#include "serve/metrics_bridge.h"
 #include "serve/server.h"
+#include "serve/wall_clock.h"
 #include "serve/workload.h"
 
 using namespace sncube;
 
 namespace {
 
+// The single source of truth for CLI documentation. `sncube help` prints
+// this to stdout (exit 0); a parse error prints it to stderr (exit 2).
+// tools/lint/check_cli_docs.py extracts every --flag token from this text
+// and requires each one to be documented in README.md, so a new flag that
+// is not added here (or not written up) fails `ctest -L lint`.
+constexpr const char* kHelpText =
+    "usage: sncube <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  generate   synthesize a fact table as CSV\n"
+    "  build      build the data cube (sequential or simulated parallel)\n"
+    "  info       list the views stored in a cube directory\n"
+    "  query      answer one group-by query from a cube directory\n"
+    "  serve      replay a synthetic query mix through the CubeServer\n"
+    "  help       print this text\n"
+    "\n"
+    "sncube generate --rows N --cards C0,C1,... --out facts.csv\n"
+    "  --rows N           number of fact rows\n"
+    "  --cards C0,C1,...  per-dimension cardinalities (defines dimensionality)\n"
+    "  --alphas A0,...    per-dimension Zipf skew (default uniform = 0)\n"
+    "  --seed S           RNG seed (default 42)\n"
+    "  --out FILE         output CSV path\n"
+    "\n"
+    "sncube build --in facts.csv --out cubedir\n"
+    "  --in FILE            input fact table (CSV of dimension codes)\n"
+    "  --out DIR            cube directory to create\n"
+    "  --procs P            simulated processors (default 1 = sequential)\n"
+    "  --views N            build only the N greedy-selected views\n"
+    "  --fraction F         build the greedy-selected fraction F of views\n"
+    "  --gamma G            merge threshold gamma (Merge-Partitions case 3)\n"
+    "  --local-trees        per-rank lattice trees + FM-sketch estimator\n"
+    "  --checkpoint-dir DIR save per-partition checkpoints; rerun with the\n"
+    "                       same DIR to resume after a failure (needs --procs >= 2)\n"
+    "  --fault-plan SPEC    inject faults, e.g.\n"
+    "                       \"kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7\"\n"
+    "                       (needs --procs >= 2)\n"
+    "  --trace-out FILE     write a Chrome trace_event JSON timeline of the\n"
+    "                       run (simulated clock) and print the run summary\n"
+    "                       JSON to stdout\n"
+    "  --summary-out FILE   also write the run summary JSON to FILE\n"
+    "\n"
+    "sncube info --cube cubedir\n"
+    "  --cube DIR         cube directory to inspect\n"
+    "\n"
+    "sncube query --cube cubedir --group-by D0,D2\n"
+    "  --cube DIR         cube directory to query\n"
+    "  --group-by A,B,... dimension names to group by\n"
+    "  --where D=V,...    equality filters (dimension=code)\n"
+    "  --min | --max      aggregate MIN/MAX instead of SUM\n"
+    "  --top K            keep only the K largest groups\n"
+    "  --json             machine-readable output\n"
+    "  --trace-out FILE   write a Chrome trace of the query (wall clock)\n"
+    "\n"
+    "sncube serve --cube cubedir --bench\n"
+    "  --cube DIR         cube directory to serve\n"
+    "  --bench            replay a synthetic query mix (required)\n"
+    "  --workers W        worker threads (default 4)\n"
+    "  --clients C        closed-loop client threads (default 8)\n"
+    "  --queries N        total queries to issue (default 20000)\n"
+    "  --queue-depth Q    admission queue depth (default 256)\n"
+    "  --cache-mb MB      result cache capacity (default 64)\n"
+    "  --alpha A          Zipf skew of the query mix (default 1.0)\n"
+    "  --seed S           workload RNG seed (default 42)\n"
+    "  --trace-out FILE   write a Chrome trace of worker request handling\n"
+    "                     (wall clock; non-deterministic by nature)\n"
+    "  --summary-out FILE write unified metrics registry JSON to FILE\n";
+
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage:\n"
-               "  sncube generate --rows N --cards C0,C1,... [--alphas A0,...]"
-               " [--seed S] --out facts.csv\n"
-               "  sncube build --in facts.csv --out cubedir [--procs P]"
-               " [--views N | --fraction F] [--gamma G] [--local-trees]\n"
-               "               [--checkpoint-dir DIR] [--fault-plan SPEC]\n"
-               "               (SPEC e.g. \"kill:1@5;slow:2x3.0;"
-               "diskerr:0:0.01;seed:7\")\n"
-               "  sncube info --cube cubedir\n"
-               "  sncube query --cube cubedir --group-by D0,D2"
-               " [--where D1=3] [--min|--max] [--top K] [--json]\n"
-               "  sncube serve --cube cubedir --bench [--workers W]"
-               " [--clients C] [--queries N] [--queue-depth Q]"
-               " [--cache-mb MB] [--alpha A] [--seed S]\n");
+  std::fputs(kHelpText, stderr);
   std::exit(2);
 }
 
@@ -192,10 +250,17 @@ int CmdBuild(const Args& args) {
     }
   }
 
+  const auto trace_out = args.Get("trace-out");
+  const auto summary_out = args.Get("summary-out");
+  // Tracing needs the simulated clock, which only exists on the Cluster
+  // path — so a traced single-processor build runs as a 1-rank cluster
+  // (BuildParallelCube at p == 1 produces the same views as SequentialCube).
+  const bool traced = trace_out.has_value() || summary_out.has_value();
+
   const std::string out = args.Require("out");
   WallTimer timer;
   std::uint64_t rows_total = 0;
-  if (p == 1) {
+  if (p == 1 && !traced) {
     const CubeResult cube = SequentialCube(raw, schema, selected);
     ViewStore store(out);
     // Drop auxiliaries when persisting.
@@ -206,6 +271,8 @@ int CmdBuild(const Args& args) {
     // rank shards are merged into one store afterwards for querying.
     Cluster cluster(p);
     if (!fault_plan.empty()) cluster.set_fault_plan(fault_plan);
+    obs::TraceSink trace_sink;
+    if (traced) cluster.set_trace_sink(&trace_sink);
     std::vector<CubeResult> shards(p);
     std::mutex mu;
     try {
@@ -236,6 +303,20 @@ int CmdBuild(const Args& args) {
                 "time, %.1f MB communicated\n",
                 p, cluster.SimTimeSeconds(),
                 cluster.BytesSent() / 1048576.0);
+    if (traced) {
+      const std::vector<obs::RankTrace> ranks = trace_sink.Snapshot();
+      obs::MetricsRegistry registry;
+      obs::AbsorbRunStats(registry, cluster.stats(), cluster.SimTimeSeconds());
+      const std::string summary = obs::RunSummaryJson(
+          cluster.stats(), cluster.SimTimeSeconds(), &ranks, &registry);
+      if (trace_out) {
+        obs::WriteTextFile(*trace_out, obs::ChromeTraceJson(ranks));
+        std::fprintf(stderr, "trace: %s (span coverage %.1f%%)\n",
+                     trace_out->c_str(), 100.0 * obs::SpanCoverage(ranks));
+      }
+      if (summary_out) obs::WriteTextFile(*summary_out, summary);
+      std::printf("%s\n", summary.c_str());
+    }
     // Concatenate shards per view (shards are globally sorted by rank).
     CubeResult merged;
     for (ViewId v : selected) {
@@ -302,9 +383,25 @@ int CmdQuery(const Args& args) {
   if (args.Has("max")) q.fn = AggFn::kMax;
   if (const auto top = args.Get("top")) q.top_k = std::atoi(top->c_str());
 
+  const auto trace_out = args.Get("trace-out");
+  WallClockSource trace_clock;
+  obs::TraceRecorder trace_recorder(0, &trace_clock);
+
   WallTimer timer;
-  const QueryAnswer answer = engine.Execute(q);
+  QueryAnswer answer;
+  {
+    // Single-query trace: rank 0 = the one CLI thread, wall-clock stamps.
+    obs::ThreadRecorderScope trace_scope(trace_out ? &trace_recorder
+                                                   : nullptr);
+    answer = engine.Execute(q);
+  }
   const double wall_s = timer.Seconds();
+  if (trace_out) {
+    std::vector<obs::RankTrace> ranks;
+    ranks.push_back(trace_recorder.Finish());
+    obs::WriteTextFile(*trace_out, obs::ChromeTraceJson(ranks));
+    std::fprintf(stderr, "trace: %s\n", trace_out->c_str());
+  }
 
   if (args.Has("json")) {
     // Machine-readable record for load drivers and dashboards.
@@ -367,6 +464,11 @@ int CmdServe(const Args& args) {
     Usage("--clients and --queries must be >= 1");
   }
 
+  const auto trace_out = args.Get("trace-out");
+  const auto summary_out = args.Get("summary-out");
+  obs::TraceSink trace_sink;
+  if (trace_out) opts.trace = &trace_sink;
+
   CubeServer server(cube, opts);
   WallTimer timer;
   std::vector<std::thread> threads;
@@ -384,7 +486,18 @@ int CmdServe(const Args& args) {
   }
   for (auto& t : threads) t.join();
   const double wall_s = timer.Seconds();
+  // Absorb before Shutdown: the server (and its histogram) stays alive, and
+  // all worker writes happened-before the client joins above.
+  if (summary_out) {
+    obs::MetricsRegistry registry;
+    AbsorbServerStats(registry, server);
+    obs::WriteTextFile(*summary_out, registry.ToJson());
+  }
   server.Shutdown();
+  if (trace_out) {
+    obs::WriteTextFile(*trace_out, obs::ChromeTraceJson(trace_sink.Snapshot()));
+    std::fprintf(stderr, "trace: %s\n", trace_out->c_str());
+  }
 
   const StatsSnapshot stats = server.Stats();
   std::printf("{\"workers\":%d,\"clients\":%d,\"queries\":%lld,"
@@ -401,6 +514,10 @@ int CmdServe(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::fputs(kHelpText, stdout);
+    return 0;
+  }
   try {
     const Args args(argc - 2, argv + 2,
                     {"local-trees", "min", "max", "json", "bench"});
