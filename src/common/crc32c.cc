@@ -1,0 +1,143 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace sncube {
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte that sits k positions deeper in the 8-byte chunk.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, std::span<const std::byte> bytes) {
+  const auto& t = tables().t;
+  std::uint32_t c = ~crc;
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+
+  while (n >= 8) {
+    // One 8-byte chunk: fold the low word into the running CRC, then eight
+    // independent table lookups (the "slices").
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = t[0][(c ^ static_cast<std::uint32_t>(*p)) & 0xFFu] ^ (c >> 8);
+    ++p;
+    --n;
+  }
+  return ~c;
+}
+
+std::uint32_t Crc32c(std::span<const std::byte> bytes) {
+  return Crc32cExtend(kCrc32cInit, bytes);
+}
+
+namespace {
+
+void PutU32(std::vector<std::byte>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::vector<std::byte>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t GetU32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint32_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+void SealFrame(std::vector<std::byte>& buf) {
+  const std::uint64_t len = buf.size();
+  const std::uint32_t crc = Crc32c(buf);
+  buf.reserve(buf.size() + kFrameTrailerBytes);
+  PutU64(buf, len);
+  PutU32(buf, crc);
+  PutU32(buf, kFrameMagic);
+}
+
+std::size_t VerifyFrame(std::span<const std::byte> sealed) {
+  if (sealed.size() < kFrameTrailerBytes) {
+    throw SncubeCorruptionError("frame: shorter than the integrity trailer");
+  }
+  const std::byte* trailer = sealed.data() + sealed.size() - kFrameTrailerBytes;
+  if (GetU32(trailer + 12) != kFrameMagic) {
+    throw SncubeCorruptionError("frame: bad trailer magic");
+  }
+  const std::uint64_t len = GetU64(trailer);
+  if (len != sealed.size() - kFrameTrailerBytes) {
+    throw SncubeCorruptionError("frame: length disagrees with buffer");
+  }
+  const std::uint32_t want = GetU32(trailer + 8);
+  const std::uint32_t got =
+      Crc32c(sealed.subspan(0, static_cast<std::size_t>(len)));
+  if (want != got) {
+    throw SncubeCorruptionError("frame: CRC32C mismatch (payload corrupt)");
+  }
+  return static_cast<std::size_t>(len);
+}
+
+void VerifyAndStripFrame(std::vector<std::byte>& buf) {
+  const std::size_t payload = VerifyFrame(buf);
+  buf.resize(payload);
+}
+
+}  // namespace sncube

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "io/checked_file.h"
 #include "net/wire.h"
 #include "obs/trace.h"
 #include "relation/serialize.h"
@@ -117,7 +118,12 @@ CheckpointManager::ReadManifest() const {
   if (!in.good()) return entries;
   std::string line;
   while (std::getline(in, line)) {
-    std::istringstream ls(line);
+    // Every line carries a CRC suffix; a line that fails verification — torn
+    // mid-write, bit-flipped, or two appends fused by a torn newline — ends
+    // the durable prefix, exactly like a crash-truncated tail.
+    const auto text = VerifySealedLine(line);
+    if (!text.has_value()) break;
+    std::istringstream ls(*text);
     std::string tag;
     int index = -1;
     if (!(ls >> tag >> index) || tag != "part" || index < 0) break;
@@ -144,19 +150,16 @@ void CheckpointManager::SavePartition(Comm& comm, int index,
   std::vector<std::uint32_t> masks;
   for (const auto& [id, vr] : partition_views.views) {
     const ByteBuffer bytes = SerializeCheckpointView(index, vr);
-    WithDiskRetry(comm, opts_, "write",
-                  [&] { comm.disk().ChargeWrite(bytes.size()); });
-    std::ofstream out(ViewPath(index, id), std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw SncubeIoError("checkpoint: cannot open " +
-                          ViewPath(index, id).string());
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) {
-      throw SncubeIoError("checkpoint: short write to " +
-                          ViewPath(index, id).string());
-    }
+    // Sealing cost: one CRC pass over the shard, on the simulated clock so
+    // integrity overhead is visible in the checkpoint phase tables.
+    comm.ChargeCpu(static_cast<double>(bytes.size()) *
+                   comm.cost().cpu_crc_byte_s);
+    // The whole sealed write (charge + persist) sits inside the retry: a
+    // transient failure happens before any bytes land, so retrying rewrites
+    // the file from scratch — idempotent.
+    WithDiskRetry(comm, opts_, "write", [&] {
+      WriteSealedFile(ViewPath(index, id), bytes, comm.disk());
+    });
     masks.push_back(id.mask());
   }
   // Determinism: unordered_map iteration order is unspecified; keep the
@@ -164,23 +167,54 @@ void CheckpointManager::SavePartition(Comm& comm, int index,
   std::sort(masks.begin(), masks.end());
 
   // The manifest line is the commit point: written only after every view of
-  // the partition is safely on disk.
+  // the partition is safely on disk. Same capped-backoff retry path as the
+  // shard writes.
   std::ostringstream line;
   line << "part " << index;
   for (std::uint32_t m : masks) line << ' ' << m;
-  line << '\n';
   const std::string text = line.str();
-  WithDiskRetry(comm, opts_, "manifest append",
-                [&] { comm.disk().ChargeWrite(text.size()); });
-  std::ofstream out(ManifestPath(), std::ios::app);
-  if (!out.good()) {
-    throw SncubeIoError("checkpoint: cannot append manifest");
+  comm.ChargeCpu(static_cast<double>(text.size()) *
+                 comm.cost().cpu_crc_byte_s);
+  WithDiskRetry(comm, opts_, "manifest append", [&] {
+    AppendSealedLine(ManifestPath(), text, comm.disk());
+  });
+}
+
+ByteBuffer CheckpointManager::ReadShard(Comm& comm,
+                                        const std::filesystem::path& path) {
+  if (opts_.verify_restore) {
+    ByteBuffer bytes;
+    WithDiskRetry(comm, opts_, "read",
+                  [&] { bytes = ReadSealedFile(path, comm.disk()); });
+    // Verification cost: one CRC pass over the sealed shard.
+    comm.ChargeCpu(static_cast<double>(bytes.size() + kFrameTrailerBytes) *
+                   comm.cost().cpu_crc_byte_s);
+    return bytes;
   }
-  out << text;
-  out.flush();
-  if (!out.good()) {
-    throw SncubeIoError("checkpoint: short manifest append");
+  // TEST-ONLY unverified path (opts_.verify_restore == false): reads the
+  // sealed file raw and blindly drops the trailer without checking it —
+  // deliberately re-opening the silent-corruption hole so the chaos
+  // explorer has a real bug to find and shrink.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw SncubeIoError("checkpoint: missing view file " + path.string());
   }
+  WithDiskRetry(comm, opts_, "read", [&] { comm.disk().ChargeRead(size); });
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw SncubeIoError("checkpoint: cannot open " + path.string());
+  }
+  ByteBuffer bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw SncubeIoError("checkpoint: short read from " + path.string());
+  }
+  bytes.resize(bytes.size() > kFrameTrailerBytes
+                   ? bytes.size() - kFrameTrailerBytes
+                   : 0);
+  return bytes;
 }
 
 void CheckpointManager::LoadPartition(Comm& comm, int index, CubeResult* out) {
@@ -198,26 +232,42 @@ void CheckpointManager::LoadPartition(Comm& comm, int index, CubeResult* out) {
   }
   for (std::uint32_t mask : *masks) {
     const ViewId id(mask);
-    const auto path = ViewPath(index, id);
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path, ec);
-    if (ec) {
-      throw SncubeIoError("checkpoint: missing view file " + path.string());
-    }
-    WithDiskRetry(comm, opts_, "read", [&] { comm.disk().ChargeRead(size); });
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) {
-      throw SncubeIoError("checkpoint: cannot open " + path.string());
-    }
-    ByteBuffer bytes(size);
-    in.read(reinterpret_cast<char*>(bytes.data()),
-            static_cast<std::streamsize>(size));
-    if (in.gcount() != static_cast<std::streamsize>(size)) {
-      throw SncubeIoError("checkpoint: short read from " + path.string());
-    }
+    const ByteBuffer bytes = ReadShard(comm, ViewPath(index, id));
     ViewResult vr = ParseCheckpointView(bytes, index, id);
     out->views[id] = std::move(vr);
   }
+}
+
+int CheckpointManager::LastVerifiedPartition(Comm& comm) {
+  if (!opts_.verify_restore) return LastCompletePartition();
+  int last = -1;
+  for (const auto& [index, masks] : ReadManifest()) {
+    bool entry_ok = true;
+    for (std::uint32_t mask : masks) {
+      const ViewId id(mask);
+      const auto path = ViewPath(index, id);
+      try {
+        ParseCheckpointView(ReadShard(comm, path), index, id);
+      } catch (const SncubeCorruptionError&) {
+        // A manifest-named shard that fails verification is treated exactly
+        // like a missing one — except the damaged bytes are quarantined so
+        // nothing can half-read them later, and the `.corrupt` file remains
+        // for the post-mortem.
+        std::error_code ec;
+        std::filesystem::rename(path, path.string() + ".corrupt", ec);
+        entry_ok = false;
+      } catch (const SncubeIoError&) {
+        entry_ok = false;  // missing or unreadable: partition incomplete
+      }
+      if (!entry_ok) break;
+    }
+    // Restore runs over the contiguous prefix 0..resume point, so the first
+    // damaged entry ends what this rank can offer; the AllReduceMin
+    // agreement then forces the cluster to recompute from there.
+    if (!entry_ok) break;
+    last = std::max(last, index);
+  }
+  return last;
 }
 
 }  // namespace sncube

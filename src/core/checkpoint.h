@@ -22,7 +22,17 @@
 // simply recomputes it (stale files are overwritten). Transient disk errors
 // (SncubeTransientIoError, e.g. from fault injection) are retried under
 // capped exponential backoff — with the backoff charged to the simulated
-// clock — before escalating to SncubeIoError, i.e. a rank failure.
+// clock — before escalating to SncubeIoError, i.e. a rank failure. Both the
+// view writes and the manifest append go through the same retry path.
+//
+// Integrity: every view shard is persisted as a CRC32C-sealed frame and
+// every manifest line carries a CRC suffix (io/checked_file.h). Restart
+// verifies the manifest-named shards (LastVerifiedPartition) and treats a
+// shard that fails verification exactly like a missing one: the damaged
+// file is quarantined to `<file>.corrupt`, the verified prefix ends before
+// that partition, and the cluster-wide AllReduceMin agreement forces the
+// partition to be recomputed everywhere — still byte-identical, never a
+// silently wrong cube.
 #pragma once
 
 #include <filesystem>
@@ -42,6 +52,11 @@ struct CheckpointOptions {
   // First backoff (simulated seconds); doubles per retry up to the cap.
   double backoff_initial_s = 0.05;
   double backoff_cap_s = 1.0;
+  // Verify shard checksums on restart (LastVerifiedPartition / LoadPartition).
+  // TEST-ONLY escape hatch: disabling this deliberately re-opens the silent-
+  // corruption path so the chaos explorer's shrinking can be demonstrated
+  // against a real bug. Never disable in production code paths.
+  bool verify_restore = true;
 
   bool enabled() const { return !dir.empty(); }
 };
@@ -56,9 +71,18 @@ class CheckpointManager {
   bool enabled() const { return opts_.enabled(); }
 
   // Largest partition index recorded complete in this rank's manifest, -1
-  // when none. Malformed manifest tails (crash-truncated lines) are treated
-  // as absent, not as errors.
+  // when none. Malformed manifest tails (crash-truncated or checksum-failing
+  // lines) are treated as absent, not as errors. Trusts the manifest: does
+  // not open the named shards.
   int LastCompletePartition() const;
+
+  // Like LastCompletePartition, but additionally verifies every shard named
+  // by the manifest prefix (checksum + header parse), charging the reads and
+  // CRC work to `comm`. A shard that is named but missing or damaged ends
+  // the verified prefix there; damaged files are quarantined to
+  // `<file>.corrupt` so nothing can half-read them later. This is the resume
+  // point fed into the cluster-wide AllReduceMin agreement.
+  int LastVerifiedPartition(Comm& comm);
 
   // Persists every view of `partition_views` as partition `index`, then
   // appends the manifest line that makes the partition durable.
@@ -71,6 +95,9 @@ class CheckpointManager {
  private:
   std::filesystem::path ViewPath(int index, ViewId id) const;
   std::filesystem::path ManifestPath() const;
+  // Reads one shard through the checked io layer (or, with verify_restore
+  // off, raw with the trailer blindly stripped) and returns its payload.
+  ByteBuffer ReadShard(Comm& comm, const std::filesystem::path& path);
   // Manifest lines parsed as (partition index, view masks), in file order,
   // stopping at the first malformed line.
   std::vector<std::pair<int, std::vector<std::uint32_t>>> ReadManifest() const;

@@ -99,9 +99,13 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
   int resume_before = -1;
   if (ckpt.enabled()) {
     comm.SetPhase("checkpoint/restore");
+    // Verified resume point: a manifest-named shard that fails its checksum
+    // is quarantined and treated like a missing one, pulling this rank's
+    // offer — and via the min-agreement the whole cluster — back to the last
+    // partition everyone can actually restore.
     resume_before =
         static_cast<int>(comm.AllReduceMin(
-            static_cast<std::uint64_t>(ckpt.LastCompletePartition() + 1))) -
+            static_cast<std::uint64_t>(ckpt.LastVerifiedPartition(comm) + 1))) -
         1;
   }
 

@@ -25,6 +25,11 @@ void DiskModel::ChargeWrite(std::size_t bytes) {
   blocks_written_ += Blocks(bytes, params_.block_bytes);
 }
 
+WriteFault DiskModel::TakeWriteFault(std::size_t bytes) {
+  if (fault_hook_ == nullptr || bytes == 0) return {};
+  return fault_hook_->NextWriteFault(bytes);
+}
+
 int DiskModel::MergePasses(std::size_t bytes) const {
   if (bytes <= params_.memory_bytes) return 0;
   const std::uint64_t runs =

@@ -23,6 +23,20 @@ struct DiskParams {
   std::size_t memory_bytes = 64 * 1024 * 1024;
 };
 
+// A corruption fault to apply to the bytes of a write that *succeeds*:
+// silent damage the device acknowledges, as opposed to the transient errors
+// it reports. Detected only because every persisted frame carries a CRC32C
+// trailer (common/crc32c.h).
+struct WriteFault {
+  enum class Kind {
+    kNone,       // write lands faithfully
+    kBitFlip,    // one bit inverted; offset is the bit index
+    kTornWrite,  // write truncated; offset is the byte count that landed
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t offset = 0;
+};
+
 // Decides whether a given disk operation fails transiently. Implemented by
 // the fault injector in src/net; the hook lives here so the io layer stays
 // free of net dependencies. A firing hook makes ChargeRead/ChargeWrite throw
@@ -32,6 +46,12 @@ class DiskFaultHook {
  public:
   virtual ~DiskFaultHook() = default;
   virtual bool NextOpFails(bool is_write) = 0;
+  // Silent-corruption decision for a write of `bytes` bytes. The default
+  // keeps hand-written test hooks source-compatible: no corruption.
+  virtual WriteFault NextWriteFault(std::size_t bytes) {
+    (void)bytes;
+    return {};
+  }
 };
 
 // Running totals of block transfers on one processor's local disk.
@@ -49,6 +69,12 @@ class DiskModel {
   // SncubeTransientIoError, charging nothing, when the fault hook fires.
   void ChargeRead(std::size_t bytes);
   void ChargeWrite(std::size_t bytes);
+
+  // Draws the silent-corruption decision for a write of `bytes` bytes.
+  // Callers that physically persist bytes (the checksummed io layer) must
+  // apply the returned fault to the buffer *after* computing its checksum —
+  // corruption strikes below the CRC, that is what makes it detectable.
+  WriteFault TakeWriteFault(std::size_t bytes);
 
   std::uint64_t blocks_read() const { return blocks_read_; }
   std::uint64_t blocks_written() const { return blocks_written_; }

@@ -13,96 +13,6 @@
 namespace sncube {
 namespace {
 
-// Streams rows out of a stored run with block-granular, disk-charged reads.
-class RunReader {
- public:
-  RunReader(RunStore& store, DiskModel& disk, int run, int width,
-            std::size_t block_bytes)
-      : store_(store),
-        disk_(disk),
-        run_(run),
-        width_(width),
-        row_bytes_(sizeof(Key) * static_cast<std::size_t>(width) +
-                   sizeof(Measure)) {
-    // Read whole rows per refill; at least one row even if B is tiny.
-    rows_per_refill_ = std::max<std::size_t>(1, block_bytes / row_bytes_);
-    buffer_.resize(rows_per_refill_ * row_bytes_);
-    Refill();
-  }
-
-  bool exhausted() const { return pos_ == filled_ && done_; }
-
-  // Current row's keys / measure. Only valid when !exhausted().
-  const Key* keys() const {
-    return reinterpret_cast<const Key*>(buffer_.data() + pos_);
-  }
-  Measure measure() const {
-    Measure m;
-    std::memcpy(&m, buffer_.data() + pos_ + sizeof(Key) * width_, sizeof(m));
-    return m;
-  }
-
-  void Advance() {
-    pos_ += row_bytes_;
-    if (pos_ == filled_ && !done_) Refill();
-  }
-
- private:
-  void Refill() {
-    const std::size_t got = store_.Read(
-        run_, offset_, std::span<std::byte>(buffer_.data(), buffer_.size()));
-    SNCUBE_CHECK_MSG(got % row_bytes_ == 0, "run holds partial rows");
-    offset_ += got;
-    filled_ = got;
-    pos_ = 0;
-    if (got > 0) disk_.ChargeRead(got);
-    if (got < buffer_.size()) done_ = true;
-    if (got == 0) pos_ = filled_;  // immediately exhausted
-  }
-
-  RunStore& store_;
-  DiskModel& disk_;
-  int run_;
-  int width_;
-  std::size_t row_bytes_;
-  std::size_t rows_per_refill_;
-  ByteBuffer buffer_;
-  std::size_t offset_ = 0;
-  std::size_t filled_ = 0;
-  std::size_t pos_ = 0;
-  bool done_ = false;
-};
-
-// Buffers rows and appends them to a run in block-sized, disk-charged writes.
-class RunWriter {
- public:
-  RunWriter(RunStore& store, DiskModel& disk, int run, std::size_t block_bytes)
-      : store_(store), disk_(disk), run_(run), block_bytes_(block_bytes) {}
-
-  void Write(std::span<const std::byte> bytes) {
-    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
-    while (buffer_.size() >= block_bytes_) Flush(block_bytes_);
-  }
-
-  void Finish() {
-    if (!buffer_.empty()) Flush(buffer_.size());
-  }
-
- private:
-  void Flush(std::size_t n) {
-    store_.Append(run_, std::span<const std::byte>(buffer_.data(), n));
-    disk_.ChargeWrite(n);
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
-  }
-
-  RunStore& store_;
-  DiskModel& disk_;
-  int run_;
-  std::size_t block_bytes_;
-  ByteBuffer buffer_;
-};
-
 void SerializeRow(const Key* keys, int width, Measure m, ByteBuffer& out) {
   const std::size_t kb = sizeof(Key) * static_cast<std::size_t>(width);
   const std::size_t off = out.size();
@@ -139,8 +49,9 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
       std::max<std::size_t>(1, dp.memory_bytes / row_bytes);
 
   // Phase 1: run formation. Each memory-load of input is read, sorted, and
-  // written back as one sorted run.
+  // written back as one sorted, sealed run.
   std::vector<int> runs;
+  std::vector<RunSeal> seals;
   for (std::size_t begin = 0; begin < input.size(); begin += rows_per_run) {
     const std::size_t end = std::min(input.size(), begin + rows_per_run);
     Relation chunk(input.width());
@@ -153,8 +64,8 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
     RunWriter writer(rs, disk, run, dp.block_bytes);
     ByteBuffer serialized = SerializeRelation(sorted);
     writer.Write(serialized);
-    writer.Finish();
     runs.push_back(run);
+    seals.push_back(writer.Finish());
   }
   const std::size_t runs_formed = runs.size();
 
@@ -168,13 +79,14 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
   while (runs.size() > 1) {
     ++merge_passes;
     std::vector<int> next;
+    std::vector<RunSeal> next_seals;
     for (std::size_t g = 0; g < runs.size(); g += fan_in) {
       const std::size_t ge = std::min(runs.size(), g + fan_in);
       std::vector<std::unique_ptr<RunReader>> readers;
       readers.reserve(ge - g);
       for (std::size_t i = g; i < ge; ++i) {
         readers.push_back(std::make_unique<RunReader>(
-            rs, disk, runs[i], input.width(), dp.block_bytes));
+            rs, disk, runs[i], input.width(), dp.block_bytes, seals[i]));
       }
       const int out_run = rs.CreateRun();
       RunWriter writer(rs, disk, out_run, dp.block_bytes);
@@ -211,18 +123,20 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
           std::push_heap(heap.begin(), heap.end(), heap_cmp);
         }
       }
-      writer.Finish();
       for (std::size_t i = g; i < ge; ++i) rs.Free(runs[i]);
       next.push_back(out_run);
+      next_seals.push_back(writer.Finish());
     }
     runs.swap(next);
+    seals.swap(next_seals);
   }
 
   // Materialize the final run (charged as the consumer's read).
   Relation out(input.width());
   out.Reserve(input.size());
   {
-    RunReader reader(rs, disk, runs[0], input.width(), dp.block_bytes);
+    RunReader reader(rs, disk, runs[0], input.width(), dp.block_bytes,
+                     seals[0]);
     std::vector<Key> keys(static_cast<std::size_t>(input.width()));
     while (!reader.exhausted()) {
       std::memcpy(keys.data(), reader.keys(), keys.size() * sizeof(Key));

@@ -83,4 +83,99 @@ void FileRunStore::Free(int run) {
   sizes_.at(run) = 0;
 }
 
+void RunWriter::Write(std::span<const std::byte> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (buffer_.size() >= block_bytes_) Flush(block_bytes_);
+}
+
+RunSeal RunWriter::Finish() {
+  if (!buffer_.empty()) Flush(buffer_.size());
+  return seal_;
+}
+
+void RunWriter::Flush(std::size_t n) {
+  // Charge first: a transient disk error means the op never happened and
+  // the buffered bytes stay intact for a caller that retries.
+  disk_.ChargeWrite(n);
+  // The seal covers the bytes we *intend* to persist; the injected fault is
+  // applied after, which is what makes the corruption detectable.
+  const std::span<const std::byte> block(buffer_.data(), n);
+  seal_.crc = Crc32cExtend(seal_.crc, block);
+  seal_.bytes += n;
+  const WriteFault fault = disk_.TakeWriteFault(n);
+  switch (fault.kind) {
+    case WriteFault::Kind::kBitFlip:
+      buffer_[static_cast<std::size_t>(fault.offset / 8)] ^=
+          static_cast<std::byte>(1u << (fault.offset % 8));
+      store_.Append(run_, block);
+      break;
+    case WriteFault::Kind::kTornWrite:
+      store_.Append(run_,
+                    block.subspan(0, static_cast<std::size_t>(fault.offset)));
+      break;
+    case WriteFault::Kind::kNone:
+      store_.Append(run_, block);
+      break;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+RunReader::RunReader(RunStore& store, DiskModel& disk, int run, int width,
+                     std::size_t block_bytes, const RunSeal& seal)
+    : store_(store),
+      disk_(disk),
+      run_(run),
+      width_(width),
+      row_bytes_(sizeof(Key) * static_cast<std::size_t>(width) +
+                 sizeof(Measure)),
+      expected_(seal) {
+  // Read whole rows per refill; at least one row even if B is tiny.
+  rows_per_refill_ = std::max<std::size_t>(1, block_bytes / row_bytes_);
+  buffer_.resize(rows_per_refill_ * row_bytes_);
+  Refill();
+}
+
+Measure RunReader::measure() const {
+  Measure m;
+  std::memcpy(&m, buffer_.data() + pos_ + sizeof(Key) * static_cast<std::size_t>(width_),
+              sizeof(m));
+  return m;
+}
+
+void RunReader::Advance() {
+  pos_ += row_bytes_;
+  if (pos_ == filled_ && !done_) Refill();
+}
+
+void RunReader::Refill() {
+  const std::size_t got = store_.Read(
+      run_, offset_, std::span<std::byte>(buffer_.data(), buffer_.size()));
+  crc_ = Crc32cExtend(crc_, std::span<const std::byte>(buffer_.data(), got));
+  offset_ += got;
+  filled_ = got;
+  pos_ = 0;
+  if (got > 0) disk_.ChargeRead(got);
+  if (got < buffer_.size()) done_ = true;
+  if (got == 0) pos_ = filled_;  // immediately exhausted
+  if (got % row_bytes_ != 0) {
+    throw SncubeCorruptionError(
+        "external-sort run holds partial rows (torn write?)");
+  }
+  if (done_) {
+    // The run has fully drained: everything the writer sealed must have
+    // come back, byte for byte.
+    if (offset_ != expected_.bytes) {
+      throw SncubeCorruptionError(
+          "external-sort run length mismatch: sealed " +
+          std::to_string(expected_.bytes) + " bytes, read " +
+          std::to_string(offset_));
+    }
+    if (crc_ != expected_.crc) {
+      throw SncubeCorruptionError(
+          "external-sort run CRC32C mismatch (payload corrupt)");
+    }
+  }
+}
+
 }  // namespace sncube

@@ -1,18 +1,30 @@
-// Storage backends for external-sort runs.
+// Storage backends for external-sort runs, and the checksummed writer/reader
+// pair through which all run bytes flow.
 //
 // A RunStore holds append-only byte runs. MemoryRunStore keeps them in RAM
 // (fast default; block transfers are still charged by the sorter so the cost
 // model is unaffected). FileRunStore stages runs in real temporary files so
 // the external sort can be exercised against an actual filesystem — data
 // larger than RAM genuinely spills.
+//
+// RunWriter computes a CRC32C over everything it intends to append and
+// returns it as the run's RunSeal from Finish(); injected write faults
+// (DiskModel::TakeWriteFault) strike *after* the checksum is taken, exactly
+// like real silent corruption striking below the software. RunReader carries
+// the seal and verifies byte count and checksum when the run drains, so a
+// bit-flipped or torn run surfaces as SncubeCorruptionError at merge time —
+// never as a silently mis-sorted relation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/crc32c.h"
+#include "io/disk.h"
 #include "relation/serialize.h"
 
 namespace sncube {
@@ -70,6 +82,72 @@ class FileRunStore final : public RunStore {
   std::string dir_;
   std::vector<std::FILE*> files_;   // nullptr after Free
   std::vector<std::size_t> sizes_;
+};
+
+// Integrity seal of a finished run: how many bytes the writer meant to
+// persist and their CRC32C. Held by the sorter alongside the run id and
+// handed to the reader that later drains the run.
+struct RunSeal {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = kCrc32cInit;
+};
+
+// Buffers rows and appends them to a run in block-sized, disk-charged
+// writes. The only sanctioned write path into a RunStore.
+class RunWriter {
+ public:
+  RunWriter(RunStore& store, DiskModel& disk, int run, std::size_t block_bytes)
+      : store_(store), disk_(disk), run_(run), block_bytes_(block_bytes) {}
+
+  void Write(std::span<const std::byte> bytes);
+
+  // Flushes the tail and returns the run's seal.
+  RunSeal Finish();
+
+ private:
+  void Flush(std::size_t n);
+
+  RunStore& store_;
+  DiskModel& disk_;
+  int run_;
+  std::size_t block_bytes_;
+  ByteBuffer buffer_;
+  RunSeal seal_;
+};
+
+// Streams rows out of a stored run with block-granular, disk-charged reads,
+// verifying the RunSeal as the run drains.
+class RunReader {
+ public:
+  RunReader(RunStore& store, DiskModel& disk, int run, int width,
+            std::size_t block_bytes, const RunSeal& seal);
+
+  bool exhausted() const { return pos_ == filled_ && done_; }
+
+  // Current row's keys / measure. Only valid when !exhausted().
+  const Key* keys() const {
+    return reinterpret_cast<const Key*>(buffer_.data() + pos_);
+  }
+  Measure measure() const;
+
+  void Advance();
+
+ private:
+  void Refill();
+
+  RunStore& store_;
+  DiskModel& disk_;
+  int run_;
+  int width_;
+  std::size_t row_bytes_;
+  std::size_t rows_per_refill_;
+  ByteBuffer buffer_;
+  std::size_t offset_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  RunSeal expected_;
+  std::uint32_t crc_ = kCrc32cInit;
 };
 
 }  // namespace sncube

@@ -137,6 +137,10 @@ std::vector<ByteBuffer> Comm::AllToAllv(std::vector<ByteBuffer> send) {
   PhaseStats& ps = SyncPrologue();
   auto& board = cluster_.shared_->board;
   for (int dst = 0; dst < size_; ++dst) {
+    // Everything that crosses the wire carries the integrity trailer; an
+    // empty buffer means "no message" and self-delivery never leaves the
+    // node, so neither is framed.
+    if (dst != rank_ && !send[dst].empty()) SealFrame(send[dst]);
     board[rank_][dst] = std::move(send[dst]);
   }
   ArriveAndCheck();  // A: board fully staged
@@ -158,6 +162,9 @@ std::vector<ByteBuffer> Comm::AllToAllv(std::vector<ByteBuffer> send) {
   for (int src = 0; src < size_; ++src) {
     recv[src] = std::move(board[src][rank_]);
     board[src][rank_].clear();
+    // Decode-side verification: a frame damaged in flight (or by a buggy
+    // sender) raises SncubeCorruptionError here, never a wrong payload.
+    if (src != rank_ && !recv[src].empty()) VerifyAndStripFrame(recv[src]);
   }
   ArriveAndCheck();  // C: board reusable
   return recv;
@@ -168,9 +175,13 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
   PhaseStats& ps = SyncPrologue();
   auto& board = cluster_.shared_->board;
   if (rank_ == root) {
+    // Seal once, then fan out copies of the framed message; the root keeps
+    // its own unframed `msg` and returns it untouched below.
+    ByteBuffer framed = msg;
+    if (size_ > 1 && !framed.empty()) SealFrame(framed);
     for (int dst = 0; dst < size_; ++dst) {
       if (dst == rank_) continue;
-      board[rank_][dst] = msg;  // copy: same payload to every destination
+      board[rank_][dst] = framed;  // copy: same payload to every destination
     }
   }
   ArriveAndCheck();  // A
@@ -207,6 +218,7 @@ ByteBuffer Comm::Broadcast(int root, ByteBuffer msg) {
   } else {
     result = std::move(board[root][rank_]);
     board[root][rank_].clear();
+    if (!result.empty()) VerifyAndStripFrame(result);
   }
   ArriveAndCheck();  // C
   return result;

@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/status.h"
 
@@ -27,10 +29,39 @@ void SplitRankValue(const std::string& clause, const std::string& body,
   *value = body.substr(at + 1);
 }
 
+// Full-string strtod with NaN/garbage rejection. "0.5junk" and "nan" are
+// both malformed, not silently truncated or silently in-range.
+double ParseNumber(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    ParseFail(clause, "bad number");
+  }
+  if (!(v == v)) ParseFail(clause, "bad number");  // NaN
+  return v;
+}
+
+double ParseRate(const std::string& clause, const std::string& value) {
+  const double rate = ParseNumber(clause, value);
+  if (!(rate >= 0.0 && rate <= 1.0)) ParseFail(clause, "rate not in [0,1]");
+  return rate;
+}
+
+// One clause per (kind, rank): a second "slow:1x…" is far more likely a typo
+// than an intent to compose multipliers, so it is rejected outright.
+void RejectDuplicate(const std::string& clause, std::set<std::pair<std::string, int>>& seen,
+                     const std::string& kind, int rank) {
+  if (!seen.insert({kind, rank}).second) {
+    ParseFail(clause, "duplicate clause for this rank");
+  }
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::Parse(const std::string& spec) {
   FaultPlan plan;
+  std::set<std::pair<std::string, int>> seen;
+  bool seen_seed = false;
   std::stringstream ss(spec);
   std::string clause;
   while (std::getline(ss, clause, ';')) {
@@ -43,24 +74,48 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
       Kill k;
       std::string value;
       SplitRankValue(clause, body, '@', &k.rank, &value);
-      k.at_superstep = std::strtoull(value.c_str(), nullptr, 10);
+      RejectDuplicate(clause, seen, kind, k.rank);
+      char* end = nullptr;
+      k.at_superstep = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size()) ParseFail(clause, "bad number");
       plan.kills.push_back(k);
     } else if (kind == "slow") {
       Straggler s;
       std::string value;
       SplitRankValue(clause, body, 'x', &s.rank, &value);
-      s.factor = std::strtod(value.c_str(), nullptr);
-      if (s.factor < 1.0) ParseFail(clause, "factor must be >= 1");
+      RejectDuplicate(clause, seen, kind, s.rank);
+      s.factor = ParseNumber(clause, value);
+      if (!(s.factor >= 1.0)) ParseFail(clause, "factor must be >= 1");
       plan.stragglers.push_back(s);
     } else if (kind == "diskerr") {
       DiskErrors de;
       std::string value;
       SplitRankValue(clause, body, ':', &de.rank, &value);
-      de.rate = std::strtod(value.c_str(), nullptr);
-      if (de.rate < 0.0 || de.rate > 1.0) ParseFail(clause, "rate not in [0,1]");
+      RejectDuplicate(clause, seen, kind, de.rank);
+      de.rate = ParseRate(clause, value);
       plan.disk_errors.push_back(de);
+    } else if (kind == "bitflip") {
+      BitFlips bf;
+      std::string value;
+      SplitRankValue(clause, body, ':', &bf.rank, &value);
+      RejectDuplicate(clause, seen, kind, bf.rank);
+      bf.rate = ParseRate(clause, value);
+      plan.bit_flips.push_back(bf);
+    } else if (kind == "tornwrite") {
+      TornWrites tw;
+      std::string value;
+      SplitRankValue(clause, body, ':', &tw.rank, &value);
+      RejectDuplicate(clause, seen, kind, tw.rank);
+      tw.rate = ParseRate(clause, value);
+      plan.torn_writes.push_back(tw);
     } else if (kind == "seed") {
-      plan.seed = std::strtoull(body.c_str(), nullptr, 10);
+      if (seen_seed) ParseFail(clause, "duplicate seed clause");
+      seen_seed = true;
+      char* end = nullptr;
+      plan.seed = std::strtoull(body.c_str(), &end, 10);
+      if (end != body.c_str() + body.size() || body.empty()) {
+        ParseFail(clause, "bad number");
+      }
     } else {
       ParseFail(clause, "unknown clause kind");
     }
@@ -68,11 +123,43 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
   return plan;
 }
 
+std::string FaultPlan::ToSpec() const {
+  std::ostringstream out;
+  out.precision(12);
+  const char* sep = "";
+  for (const auto& k : kills) {
+    out << sep << "kill:" << k.rank << "@" << k.at_superstep;
+    sep = ";";
+  }
+  for (const auto& s : stragglers) {
+    out << sep << "slow:" << s.rank << "x" << s.factor;
+    sep = ";";
+  }
+  for (const auto& de : disk_errors) {
+    out << sep << "diskerr:" << de.rank << ":" << de.rate;
+    sep = ";";
+  }
+  for (const auto& bf : bit_flips) {
+    out << sep << "bitflip:" << bf.rank << ":" << bf.rate;
+    sep = ";";
+  }
+  for (const auto& tw : torn_writes) {
+    out << sep << "tornwrite:" << tw.rank << ":" << tw.rate;
+    sep = ";";
+  }
+  out << sep << "seed:" << seed;
+  return out.str();
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan, int rank)
     : rank_(rank),
       // Independent deterministic stream per rank; the 64-bit odd multiplier
       // spreads adjacent ranks across seed space.
-      rng_(plan.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(rank) * 0xBF58476D1CE4E5B9ULL + 1) {
+      rng_(plan.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(rank) * 0xBF58476D1CE4E5B9ULL + 1),
+      // The corruption stream is distinct (+2 tweak) so that adding bitflip
+      // or tornwrite clauses to a plan never changes which ops the transient
+      // diskerr stream makes fail under the same seed.
+      write_rng_(plan.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(rank) * 0xBF58476D1CE4E5B9ULL + 2) {
   for (const auto& k : plan.kills) {
     if (k.rank != rank) continue;
     // Earliest kill wins when several target the same rank.
@@ -84,6 +171,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int rank)
   }
   for (const auto& de : plan.disk_errors) {
     if (de.rank == rank) disk_error_rate_ = de.rate;
+  }
+  for (const auto& bf : plan.bit_flips) {
+    if (bf.rank == rank) bit_flip_rate_ = bf.rate;
+  }
+  for (const auto& tw : plan.torn_writes) {
+    if (tw.rank == rank) torn_write_rate_ = tw.rate;
   }
 }
 
@@ -98,6 +191,25 @@ void FaultInjector::OnCollective(std::uint64_t superstep) {
 bool FaultInjector::NextOpFails(bool /*is_write*/) {
   if (disk_error_rate_ <= 0.0) return false;
   return rng_.NextDouble() < disk_error_rate_;
+}
+
+WriteFault FaultInjector::NextWriteFault(std::size_t bytes) {
+  WriteFault fault;
+  if (bytes == 0) return fault;
+  // Draws are consumed only for enabled fault kinds, so a plan without
+  // corruption clauses leaves the stream untouched.
+  if (bit_flip_rate_ > 0.0 && write_rng_.NextDouble() < bit_flip_rate_) {
+    fault.kind = WriteFault::Kind::kBitFlip;
+    fault.offset = write_rng_.Below(static_cast<std::uint64_t>(bytes) * 8);
+    return fault;
+  }
+  if (torn_write_rate_ > 0.0 && write_rng_.NextDouble() < torn_write_rate_) {
+    fault.kind = WriteFault::Kind::kTornWrite;
+    // Strictly shorter than the intended write: at least one byte is lost.
+    fault.offset = write_rng_.Below(static_cast<std::uint64_t>(bytes));
+    return fault;
+  }
+  return fault;
 }
 
 }  // namespace sncube

@@ -15,9 +15,16 @@
 //                             collective of the Run (0-based)
 //   slow:<rank>x<factor>      multiply rank's CPU+disk simulated time
 //   diskerr:<rank>:<rate>     each disk op fails transiently w.p. rate
-//   seed:<n>                  RNG seed for the disk-error draws
+//   bitflip:<rank>:<rate>     each persisted frame has one random bit
+//                             flipped w.p. rate (silent corruption)
+//   tornwrite:<rank>:<rate>   each persisted frame is truncated at a
+//                             random offset w.p. rate (torn write)
+//   seed:<n>                  RNG seed for all probabilistic draws
 //
 // joined with ';', e.g. "kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7".
+// Parse rejects duplicate clauses for the same (kind, rank), rates outside
+// [0,1], slow factors below 1, and non-numeric values — each with a typed
+// SncubeError naming the offending clause.
 #pragma once
 
 #include <cstdint>
@@ -42,18 +49,34 @@ struct FaultPlan {
     int rank = 0;
     double rate = 0.0;  // per-operation transient failure probability
   };
+  struct BitFlips {
+    int rank = 0;
+    double rate = 0.0;  // per-written-frame single-bit-flip probability
+  };
+  struct TornWrites {
+    int rank = 0;
+    double rate = 0.0;  // per-written-frame truncation probability
+  };
 
   std::vector<Kill> kills;
   std::vector<Straggler> stragglers;
   std::vector<DiskErrors> disk_errors;
+  std::vector<BitFlips> bit_flips;
+  std::vector<TornWrites> torn_writes;
   std::uint64_t seed = 0;
 
   bool empty() const {
-    return kills.empty() && stragglers.empty() && disk_errors.empty();
+    return kills.empty() && stragglers.empty() && disk_errors.empty() &&
+           bit_flips.empty() && torn_writes.empty();
   }
 
   // Parses the spec grammar above; throws SncubeError on malformed input.
   static FaultPlan Parse(const std::string& spec);
+
+  // Canonical spec string that Parse round-trips: clauses in declaration
+  // order, seed last. This is what the chaos explorer prints for a shrunk
+  // reproducing plan.
+  std::string ToSpec() const;
 };
 
 // One rank's view of the plan, constructed per Run. Consulted by Comm at
@@ -74,13 +97,22 @@ class FaultInjector : public DiskFaultHook {
   // DiskFaultHook: deterministic per-op transient failure decision.
   bool NextOpFails(bool is_write) override;
 
+  // DiskFaultHook: deterministic silent-corruption decision for a persisted
+  // frame of `bytes` bytes. Draws from a stream separate from the transient
+  // error one, so enabling bitflip/tornwrite never perturbs which disk ops
+  // a given seed makes fail.
+  WriteFault NextWriteFault(std::size_t bytes) override;
+
  private:
   int rank_;
   bool has_kill_ = false;
   std::uint64_t kill_at_ = 0;
   double slowdown_ = 1.0;
   double disk_error_rate_ = 0.0;
+  double bit_flip_rate_ = 0.0;
+  double torn_write_rate_ = 0.0;
   Rng rng_;
+  Rng write_rng_;
 };
 
 }  // namespace sncube

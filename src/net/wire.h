@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "common/status.h"
 #include "relation/serialize.h"
 

@@ -3,13 +3,17 @@
 // charged to the simulated clock, and escalation after the retry budget.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "core/parallel_cube.h"
+#include "io/disk.h"
 #include "data/generator.h"
 #include "lattice/lattice.h"
 #include "net/cluster.h"
@@ -203,6 +207,230 @@ TEST(Checkpoint, PersistentDiskErrorsEscalateAfterRetryBudget) {
     }
   });
   std::filesystem::remove_all(dir);
+}
+
+// S2 regression guard: the manifest append itself (not just the shard
+// writes) must ride the capped-backoff transient-retry path. The hook fails
+// exactly the manifest append's ChargeWrite — the third write of a two-view
+// SavePartition — once.
+TEST(Checkpoint, ManifestAppendIsRetriedOnTransientError) {
+  class FailNthWriteOnce : public DiskFaultHook {
+   public:
+    explicit FailNthWriteOnce(int nth) : nth_(nth) {}
+    bool NextOpFails(bool is_write) override {
+      if (!is_write) return false;
+      return writes_++ == nth_;
+    }
+    WriteFault NextWriteFault(std::size_t) override { return {}; }
+    int writes() const { return writes_; }
+
+   private:
+    int nth_;
+    int writes_ = 0;
+  };
+
+  const auto dir = FreshDir("manifest_retry");
+  const CubeResult cube = MakePartition();
+  Cluster cluster(1);
+  cluster.Run([&](Comm& comm) {
+    CheckpointOptions opts;
+    opts.dir = dir.string();
+    CheckpointManager mgr(opts, comm.rank());
+    FailNthWriteOnce hook(2);  // writes 0,1 = the two shards; 2 = manifest
+    comm.disk().set_fault_hook(&hook);
+    const double before = comm.LocalTime();
+    mgr.SavePartition(comm, 0, cube);
+    comm.disk().set_fault_hook(nullptr);
+    // The append failed once and was retried: one extra write op, and the
+    // first backoff wait landed on the simulated clock.
+    EXPECT_EQ(hook.writes(), 4);
+    EXPECT_GE(comm.LocalTime() - before, opts.backoff_initial_s);
+    // The retried append committed the partition, undamaged.
+    EXPECT_EQ(mgr.LastCompletePartition(), 0);
+    CubeResult restored;
+    mgr.LoadPartition(comm, 0, &restored);
+    EXPECT_EQ(restored.views.size(), cube.views.size());
+  });
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, VerifiedResumeQuarantinesDamagedShard) {
+  const auto dir = FreshDir("quarantine");
+  const CubeResult cube = MakePartition();
+  Cluster cluster(1);
+  cluster.Run([&](Comm& comm) {
+    CheckpointOptions opts;
+    opts.dir = dir.string();
+    CheckpointManager mgr(opts, comm.rank());
+    mgr.SavePartition(comm, 0, cube);
+    mgr.SavePartition(comm, 1, cube);
+    EXPECT_EQ(mgr.LastVerifiedPartition(comm), 1);
+
+    // Flip one payload byte in a partition-1 shard.
+    char name[32];
+    std::snprintf(name, sizeof(name), "p%03d_v%05x.ckpt", 1,
+                  cube.views.begin()->first.mask());
+    const auto path = dir / "rank0" / name;
+    {
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      f.seekp(10);
+      const char flipped = static_cast<char>(f.peek() ^ 0x10);
+      f.put(flipped);
+    }
+    // The manifest still claims partition 1, but verification ends the
+    // usable prefix at 0 and quarantines the damaged file.
+    EXPECT_EQ(mgr.LastCompletePartition(), 1);
+    EXPECT_EQ(mgr.LastVerifiedPartition(comm), 0);
+    EXPECT_TRUE(std::filesystem::exists(path.string() + ".corrupt"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+    // The quarantined partition now loads as missing, not as wrong data.
+    CubeResult restored;
+    EXPECT_THROW(mgr.LoadPartition(comm, 1, &restored), SncubeIoError);
+    // Partition 0 is untouched.
+    mgr.LoadPartition(comm, 0, &restored);
+    EXPECT_EQ(restored.views.size(), cube.views.size());
+  });
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write crash points, end to end: a full p-rank build leaves a complete
+// checkpoint; each scenario damages it the way a specific crash or silent
+// fault would, and the restarted build must recover to a byte-identical
+// cube — for p = 2 and p = 4.
+
+using ShardBytes = std::vector<std::map<std::uint32_t, ByteBuffer>>;
+
+ShardBytes BuildWithCheckpoint(const std::filesystem::path& dir, int p,
+                               const DatasetSpec& spec, const Schema& schema) {
+  ShardBytes shards(static_cast<std::size_t>(p));
+  Cluster cluster(p);
+  std::mutex mu;
+  cluster.Run([&](Comm& comm) {
+    const Relation raw = GenerateSlice(spec, p, comm.rank());
+    ParallelCubeOptions opts;
+    opts.checkpoint.dir = dir.string();
+    CubeResult cube = BuildParallelCube(comm, raw, schema, AllViews(3), opts);
+    std::map<std::uint32_t, ByteBuffer> mine;
+    for (const auto& [id, vr] : cube.views) {
+      mine[id.mask()] = SerializeRelation(vr.rel);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    shards[static_cast<std::size_t>(comm.rank())] = std::move(mine);
+  });
+  return shards;
+}
+
+// Largest manifest-named shard file of rank 0 (deterministic pick).
+std::filesystem::path PickShardFile(const std::filesystem::path& dir) {
+  std::filesystem::path best;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir / "rank0")) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".ckpt" &&
+        (best.empty() || entry.path().string() > best.string())) {
+      best = entry.path();
+    }
+  }
+  EXPECT_FALSE(best.empty());
+  return best;
+}
+
+TEST(CheckpointCrashPoints, AllTornWriteScenariosRestartByteIdentical) {
+  DatasetSpec spec;
+  spec.rows = 1000;
+  spec.cardinalities = {8, 5, 3};
+  spec.seed = 23;
+  const Schema schema = spec.MakeSchema();
+
+  for (int p : {2, 4}) {
+    const auto dir = FreshDir("crashpoints_p" + std::to_string(p));
+    const ShardBytes golden = BuildWithCheckpoint(dir, p, spec, schema);
+    const auto manifest = dir / "rank0" / "progress.log";
+
+    // Each scenario damages a pristine copy of the completed checkpoint, so
+    // scenarios stay independent (a rebuild over a damaged dir appends new
+    // manifest lines, which would compound across scenarios otherwise).
+    const auto pristine = std::filesystem::path(dir.string() + "_pristine");
+    std::filesystem::remove_all(pristine);
+    std::filesystem::copy(dir, pristine,
+                          std::filesystem::copy_options::recursive);
+    auto restore_pristine = [&] {
+      std::filesystem::remove_all(dir);
+      std::filesystem::copy(pristine, dir,
+                            std::filesystem::copy_options::recursive);
+    };
+
+    auto rebuild_and_compare = [&](const char* scenario) {
+      const ShardBytes again = BuildWithCheckpoint(dir, p, spec, schema);
+      ASSERT_EQ(again.size(), golden.size()) << scenario;
+      for (std::size_t r = 0; r < golden.size(); ++r) {
+        ASSERT_EQ(again[r].size(), golden[r].size()) << scenario;
+        for (const auto& [mask, bytes] : golden[r]) {
+          EXPECT_EQ(again[r].at(mask), bytes)
+              << scenario << " rank " << r << " mask " << mask;
+        }
+      }
+    };
+
+    // (a) Shards written, manifest line absent: drop rank 0's last line, as
+    // if the rank crashed after the view files but before the commit point.
+    restore_pristine();
+    {
+      std::vector<std::string> lines;
+      std::ifstream in(manifest);
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+      in.close();
+      ASSERT_GT(lines.size(), 1u);
+      std::ofstream out(manifest, std::ios::trunc);
+      for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+        out << lines[i] << '\n';
+      }
+    }
+    rebuild_and_compare("(a) manifest line absent");
+
+    // (b) Manifest line torn mid-write: the tail of the file is cut inside
+    // the last line (no newline, CRC suffix incomplete).
+    restore_pristine();
+    {
+      const auto size = std::filesystem::file_size(manifest);
+      ASSERT_GT(size, 7u);
+      std::filesystem::resize_file(manifest, size - 7);
+    }
+    rebuild_and_compare("(b) manifest line torn");
+
+    // (c) Shard named by the manifest but truncated on disk.
+    restore_pristine();
+    {
+      const auto shard = PickShardFile(dir);
+      const auto size = std::filesystem::file_size(shard);
+      std::filesystem::resize_file(shard, size / 2);
+    }
+    rebuild_and_compare("(c) shard truncated");
+    // The damaged shard was quarantined during the rebuild's verification.
+    bool corrupt_seen = false;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir / "rank0")) {
+      corrupt_seen |= entry.path().string().ends_with(".corrupt");
+    }
+    EXPECT_TRUE(corrupt_seen);
+
+    // (d) Shard named by the manifest with one bit flipped mid-payload.
+    restore_pristine();
+    {
+      const auto shard = PickShardFile(dir);
+      std::fstream f(shard, std::ios::in | std::ios::out | std::ios::binary);
+      const auto size = std::filesystem::file_size(shard);
+      f.seekp(static_cast<std::streamoff>(size / 2));
+      const char flipped = static_cast<char>(f.peek() ^ 0x01);
+      f.put(flipped);
+    }
+    rebuild_and_compare("(d) shard bit-flipped");
+
+    std::filesystem::remove_all(pristine);
+    std::filesystem::remove_all(dir);
+  }
 }
 
 TEST(Checkpoint, FullyCheckpointedBuildRestoresEveryPartition) {

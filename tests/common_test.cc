@@ -3,8 +3,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "common/env.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -12,6 +15,78 @@
 
 namespace sncube {
 namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+// Known-answer vectors: RFC 3720 (iSCSI) appendix B.4 plus the classic
+// check value for "123456789". A wrong polynomial, reflection, or slicing
+// bug fails at least one of these.
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(Crc32c(Bytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32c(Bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::vector<std::byte>(32, std::byte{0x00})), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::vector<std::byte>(32, std::byte{0xFF})), 0x62A8AB43u);
+  std::vector<std::byte> ascending(32);
+  for (int i = 0; i < 32; ++i) ascending[i] = std::byte(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+  std::vector<std::byte> descending(32);
+  for (int i = 0; i < 32; ++i) descending[i] = std::byte(31 - i);
+  EXPECT_EQ(Crc32c(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShotAtEverySplitPoint) {
+  Rng rng(2024);
+  std::vector<std::byte> data(257);
+  for (auto& b : data) b = std::byte(rng.Below(256));
+  const std::uint32_t whole = Crc32c(data);
+  for (std::size_t cut = 0; cut <= data.size(); cut += 13) {
+    const std::uint32_t head =
+        Crc32cExtend(kCrc32cInit, std::span(data).subspan(0, cut));
+    EXPECT_EQ(Crc32cExtend(head, std::span(data).subspan(cut)), whole)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32c, SealVerifyRoundTrip) {
+  std::vector<std::byte> buf = Bytes("some payload bytes");
+  const std::vector<std::byte> payload = buf;
+  SealFrame(buf);
+  EXPECT_EQ(buf.size(), payload.size() + kFrameTrailerBytes);
+  EXPECT_EQ(VerifyFrame(buf), payload.size());
+  VerifyAndStripFrame(buf);
+  EXPECT_EQ(buf, payload);
+
+  std::vector<std::byte> empty;
+  SealFrame(empty);
+  EXPECT_EQ(VerifyFrame(empty), 0u);
+}
+
+TEST(Crc32c, EveryPossibleSingleBitFlipIsDetected) {
+  std::vector<std::byte> buf = Bytes("frame under attack");
+  SealFrame(buf);
+  for (std::size_t bit = 0; bit < buf.size() * 8; ++bit) {
+    std::vector<std::byte> mutated = buf;
+    mutated[bit / 8] ^= std::byte(1u << (bit % 8));
+    EXPECT_THROW(VerifyFrame(mutated), SncubeCorruptionError) << "bit " << bit;
+  }
+}
+
+TEST(Crc32c, TruncationAndExtensionAreDetected) {
+  std::vector<std::byte> buf = Bytes("torn write victim");
+  SealFrame(buf);
+  for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+    std::vector<std::byte> torn(buf.begin(),
+                                buf.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(VerifyFrame(torn), SncubeCorruptionError) << "keep " << keep;
+  }
+  std::vector<std::byte> extended = buf;
+  extended.push_back(std::byte{0});
+  EXPECT_THROW(VerifyFrame(extended), SncubeCorruptionError);
+}
 
 TEST(Status, CheckThrowsWithLocation) {
   try {

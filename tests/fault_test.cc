@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "core/parallel_cube.h"
 #include "data/generator.h"
 #include "lattice/lattice.h"
@@ -44,8 +45,88 @@ TEST(FaultPlan, ParsesFullSpec) {
 TEST(FaultPlan, MalformedSpecsThrow) {
   for (const char* bad :
        {"kill:1", "kill:x@2", "kill:@2", "kill:1@", "slow:1", "slow:1x0.5",
-        "diskerr:0", "diskerr:0:1.5", "bogus:3", "kill"}) {
+        "diskerr:0", "diskerr:0:1.5", "bogus:3", "kill",
+        // Hardened rejections: duplicates, out-of-range and garbage values.
+        "kill:1@3;kill:1@5", "slow:2x2.0;slow:2x3.0",
+        "diskerr:0:0.1;diskerr:0:0.2", "bitflip:0:0.5;bitflip:0:0.5",
+        "tornwrite:1:0.1;tornwrite:1:0.2", "seed:1;seed:2",
+        "diskerr:0:-0.1", "bitflip:0:1.5", "tornwrite:0:-1",
+        "bitflip:0:nan", "slow:1xnan", "diskerr:0:0.5junk", "slow:1x2.0abc",
+        "kill:1@2x", "seed:12junk", "seed:"}) {
     EXPECT_THROW(FaultPlan::Parse(bad), SncubeError) << bad;
+  }
+  // The typed error names the offending clause.
+  try {
+    FaultPlan::Parse("kill:0@1;diskerr:2:7.5");
+    FAIL() << "expected throw";
+  } catch (const SncubeError& e) {
+    EXPECT_NE(std::string(e.what()).find("diskerr:2:7.5"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, ParsesCorruptionClausesAndRoundTripsToSpec) {
+  const FaultPlan plan = FaultPlan::Parse(
+      "kill:1@5;slow:2x3.5;diskerr:0:0.25;bitflip:0:0.5;tornwrite:1:0.125;"
+      "seed:42");
+  ASSERT_EQ(plan.bit_flips.size(), 1u);
+  EXPECT_EQ(plan.bit_flips[0].rank, 0);
+  EXPECT_DOUBLE_EQ(plan.bit_flips[0].rate, 0.5);
+  ASSERT_EQ(plan.torn_writes.size(), 1u);
+  EXPECT_EQ(plan.torn_writes[0].rank, 1);
+  EXPECT_DOUBLE_EQ(plan.torn_writes[0].rate, 0.125);
+
+  const std::string spec = plan.ToSpec();
+  const FaultPlan reparsed = FaultPlan::Parse(spec);
+  EXPECT_EQ(reparsed.ToSpec(), spec);
+  EXPECT_EQ(reparsed.kills.size(), 1u);
+  EXPECT_EQ(reparsed.seed, 42u);
+  EXPECT_DOUBLE_EQ(reparsed.torn_writes[0].rate, 0.125);
+
+  // An all-defaults plan still round-trips (seed-only spec).
+  EXPECT_TRUE(FaultPlan::Parse(FaultPlan{}.ToSpec()).empty());
+}
+
+TEST(FaultInjector, WriteFaultStreamIsDeterministicAndSeparate) {
+  const FaultPlan plan =
+      FaultPlan::Parse("diskerr:0:0.5;bitflip:0:0.5;tornwrite:0:0.5;seed:7");
+  // Identical draws for identical (plan, rank).
+  FaultInjector a(plan, 0);
+  FaultInjector b(plan, 0);
+  int flips = 0;
+  int tears = 0;
+  for (int i = 0; i < 256; ++i) {
+    const WriteFault fa = a.NextWriteFault(64);
+    const WriteFault fb = b.NextWriteFault(64);
+    EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+    EXPECT_EQ(fa.offset, fb.offset);
+    if (fa.kind == WriteFault::Kind::kBitFlip) {
+      ++flips;
+      EXPECT_LT(fa.offset, 64u * 8u);
+    } else if (fa.kind == WriteFault::Kind::kTornWrite) {
+      ++tears;
+      EXPECT_LT(fa.offset, 64u);
+    }
+  }
+  EXPECT_GT(flips, 0);
+  EXPECT_GT(tears, 0);
+
+  // The corruption stream must not perturb the transient-error stream:
+  // a plan with and without corruption clauses makes the same ops fail.
+  FaultInjector with(plan, 0);
+  FaultInjector without(FaultPlan::Parse("diskerr:0:0.5;seed:7"), 0);
+  for (int i = 0; i < 256; ++i) {
+    if (i % 3 == 0) with.NextWriteFault(128);  // interleaved corruption draws
+    EXPECT_EQ(with.NextOpFails(false), without.NextOpFails(false)) << i;
+  }
+
+  // A rank the plan doesn't target is never corrupted; zero-byte writes
+  // consume no draws.
+  FaultInjector other(plan, 1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<int>(other.NextWriteFault(64).kind),
+              static_cast<int>(WriteFault::Kind::kNone));
+    EXPECT_EQ(static_cast<int>(a.NextWriteFault(0).kind),
+              static_cast<int>(WriteFault::Kind::kNone));
   }
 }
 
@@ -74,9 +155,9 @@ TEST(FaultInjector, DiskErrorStreamIsDeterministicPerRankAndSeed) {
 }
 
 TEST(FaultInjector, KillAndSlowdownApplyOnlyToTargetRank) {
-  const FaultPlan plan = FaultPlan::Parse("kill:1@3;slow:1x2.0;slow:1x3.0");
+  const FaultPlan plan = FaultPlan::Parse("kill:1@3;slow:1x6.0");
   FaultInjector victim(plan, 1);
-  EXPECT_DOUBLE_EQ(victim.slowdown(), 6.0);  // factors compose
+  EXPECT_DOUBLE_EQ(victim.slowdown(), 6.0);
   victim.OnCollective(0);
   victim.OnCollective(2);
   EXPECT_THROW(victim.OnCollective(3), InjectedFaultError);
@@ -144,7 +225,8 @@ TEST(Fault, ClusterReusableAfterFailureInsideAllToAllv) {
   cluster.clear_fault_plan();
   cluster.Run([&](Comm& comm) { exchange(comm, 50); });
   EXPECT_FALSE(cluster.last_failure().has_value());  // reset by the new Run
-  EXPECT_EQ(cluster.BytesSent(), 4u * 50u);  // only the second Run's traffic
+  // Only the second Run's traffic (payload + per-message trailer).
+  EXPECT_EQ(cluster.BytesSent(), 4u * (50u + kFrameTrailerBytes));
   for (const auto& rs : cluster.stats()) {
     EXPECT_EQ(rs.supersteps, 1u);
     EXPECT_FALSE(rs.failed);

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "data/generator.h"
 #include "lattice/lattice.h"
+#include "net/fault.h"
 #include "net/wire.h"
 #include "query/engine.h"
 #include "schedule/partial.h"
@@ -225,6 +226,85 @@ TEST_P(CorruptionFuzz, MutatedBuffersThrowTypedErrors) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// FaultPlan::Parse fuzz: (1) property — every plan the generator builds from
+// in-range values round-trips through ToSpec/Parse; (2) robustness — random
+// clause soup either parses to an in-invariant plan or throws a typed
+// SncubeError, never crashes or accepts out-of-range values.
+
+class FaultPlanFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultPlanFuzz, WellFormedPlansRoundTripThroughToSpec) {
+  Rng rng(8000 + static_cast<std::uint64_t>(GetParam()));
+  FaultPlan plan;
+  plan.seed = rng.Next();
+  // Distinct ranks per clause kind (the duplicate rule is per kind).
+  for (int rank = 0; rank < 6; ++rank) {
+    if (rng.Below(2)) plan.kills.push_back({rank, rng.Below(40)});
+    if (rng.Below(2)) {
+      plan.stragglers.push_back({rank, 1.0 + rng.NextDouble() * 7});
+    }
+    if (rng.Below(2)) plan.disk_errors.push_back({rank, rng.NextDouble()});
+    if (rng.Below(2)) plan.bit_flips.push_back({rank, rng.NextDouble()});
+    if (rng.Below(2)) plan.torn_writes.push_back({rank, rng.NextDouble()});
+  }
+  const std::string spec = plan.ToSpec();
+  const FaultPlan reparsed = FaultPlan::Parse(spec);
+  EXPECT_EQ(reparsed.ToSpec(), spec);
+  EXPECT_EQ(reparsed.kills.size(), plan.kills.size());
+  EXPECT_EQ(reparsed.stragglers.size(), plan.stragglers.size());
+  EXPECT_EQ(reparsed.disk_errors.size(), plan.disk_errors.size());
+  EXPECT_EQ(reparsed.bit_flips.size(), plan.bit_flips.size());
+  EXPECT_EQ(reparsed.torn_writes.size(), plan.torn_writes.size());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+}
+
+TEST_P(FaultPlanFuzz, RandomSpecSoupNeverYieldsAnOutOfRangePlan) {
+  Rng rng(8100 + static_cast<std::uint64_t>(GetParam()));
+  const char* kinds[] = {"kill", "slow", "diskerr", "bitflip",
+                         "tornwrite", "seed", "junk", ""};
+  const char* values[] = {"0",    "1",   "0.5", "1.5",  "-1", "2.0",
+                          "3",    "nan", "inf", "1e99", "x",  "0.5junk",
+                          "18446744073709551615", ""};
+  const char seps[] = {'@', 'x', ':', '?'};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string spec;
+    for (std::size_t c = rng.Below(5); c > 0; --c) {
+      if (!spec.empty()) spec += ';';
+      spec += kinds[rng.Below(8)];
+      if (rng.Below(4) != 0) {
+        spec += ':';
+        spec += std::to_string(rng.Below(9));
+        spec += seps[rng.Below(4)];
+        spec += values[rng.Below(14)];
+      }
+    }
+    try {
+      const FaultPlan plan = FaultPlan::Parse(spec);
+      for (const auto& s : plan.stragglers) EXPECT_GE(s.factor, 1.0) << spec;
+      for (const auto& de : plan.disk_errors) {
+        EXPECT_GE(de.rate, 0.0) << spec;
+        EXPECT_LE(de.rate, 1.0) << spec;
+      }
+      for (const auto& bf : plan.bit_flips) {
+        EXPECT_GE(bf.rate, 0.0) << spec;
+        EXPECT_LE(bf.rate, 1.0) << spec;
+      }
+      for (const auto& tw : plan.torn_writes) {
+        EXPECT_GE(tw.rate, 0.0) << spec;
+        EXPECT_LE(tw.rate, 1.0) << spec;
+      }
+      // What parsed must round-trip: Parse(ToSpec(p)) is total on Parse's
+      // own output.
+      FaultPlan::Parse(plan.ToSpec());
+    } catch (const SncubeError&) {
+      // Typed rejection is the other allowed outcome.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace sncube

@@ -149,8 +149,9 @@ TEST(Cluster, CommTimeScalesWithBytes) {
     send[1 - comm.rank()] = ByteBuffer(1000);
     comm.AllToAllv(std::move(send));
   });
-  // h = 1000 bytes → 1e-3 seconds.
-  EXPECT_NEAR(small.SimTimeSeconds(), 1e-3, 1e-6);
+  // h = payload + integrity trailer, at 1e-6 s per byte.
+  EXPECT_NEAR(small.SimTimeSeconds(),
+              static_cast<double>(1000 + kFrameTrailerBytes) * 1e-6, 1e-9);
 
   Cluster big(2, cost);
   big.Run([&](Comm& comm) {
@@ -158,7 +159,8 @@ TEST(Cluster, CommTimeScalesWithBytes) {
     send[1 - comm.rank()] = ByteBuffer(10000);
     comm.AllToAllv(std::move(send));
   });
-  EXPECT_NEAR(big.SimTimeSeconds(), 1e-2, 1e-5);
+  EXPECT_NEAR(big.SimTimeSeconds(),
+              static_cast<double>(10000 + kFrameTrailerBytes) * 1e-6, 1e-9);
 }
 
 TEST(Cluster, SelfDeliveryIsFree) {
@@ -202,9 +204,10 @@ TEST(Cluster, MetricsAttributedToPhases) {
     send2[1 - comm.rank()] = ByteBuffer(7);
     comm.AllToAllv(std::move(send2));
   });
-  EXPECT_EQ(cluster.BytesSent("alpha"), 200u);
-  EXPECT_EQ(cluster.BytesSent("beta"), 14u);
-  EXPECT_EQ(cluster.BytesSent(), 214u);
+  // Each cross-rank message carries the 16-byte integrity trailer.
+  EXPECT_EQ(cluster.BytesSent("alpha"), 2 * (100 + kFrameTrailerBytes));
+  EXPECT_EQ(cluster.BytesSent("beta"), 2 * (7 + kFrameTrailerBytes));
+  EXPECT_EQ(cluster.BytesSent(), 2 * (107 + 2 * kFrameTrailerBytes));
   const auto& stats = cluster.stats()[0];
   EXPECT_EQ(stats.phases.at("alpha").messages, 1u);
   EXPECT_GT(stats.phases.at("alpha").net_s, 0.0);
@@ -259,9 +262,10 @@ TEST(Cluster, MetricsAreRunScoped) {
   };
   cluster.Run(program);
   const double t1 = cluster.SimTimeSeconds();
-  EXPECT_EQ(cluster.BytesSent(), 100u);
+  EXPECT_EQ(cluster.BytesSent(), 2 * (50 + kFrameTrailerBytes));
   cluster.Run(program);
-  EXPECT_EQ(cluster.BytesSent(), 100u);  // not 200: second Run stands alone
+  // Not doubled: the second Run stands alone.
+  EXPECT_EQ(cluster.BytesSent(), 2 * (50 + kFrameTrailerBytes));
   EXPECT_DOUBLE_EQ(cluster.SimTimeSeconds(), t1);
   for (const auto& rs : cluster.stats()) {
     EXPECT_EQ(rs.supersteps, 1u);
@@ -283,7 +287,7 @@ TEST(Cluster, SecondRunUnpollutedByHeavierFirstRun) {
     comm.AllToAllv(std::move(send));
     comm.Barrier();
   });
-  EXPECT_EQ(cluster.BytesSent(), 10000u);
+  EXPECT_EQ(cluster.BytesSent(), 2 * (5000 + kFrameTrailerBytes));
   const double heavy_time = cluster.SimTimeSeconds();
 
   cluster.Run([&](Comm& comm) {
@@ -291,7 +295,7 @@ TEST(Cluster, SecondRunUnpollutedByHeavierFirstRun) {
     send[1 - comm.rank()] = ByteBuffer(10);
     comm.AllToAllv(std::move(send));
   });
-  EXPECT_EQ(cluster.BytesSent(), 20u);
+  EXPECT_EQ(cluster.BytesSent(), 2 * (10 + kFrameTrailerBytes));
   EXPECT_LT(cluster.SimTimeSeconds(), heavy_time);
   for (const auto& rs : cluster.stats()) {
     EXPECT_EQ(rs.supersteps, 1u);

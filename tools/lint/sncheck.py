@@ -32,6 +32,15 @@ Enforces invariants no off-the-shelf checker knows about, as compile-time
                    randomness derives from common/rng.h seeded streams so
                    runs, tests, and fault plans replay bit-for-bit.
 
+  raw-file-write   src/core, src/io, src/net must not open files for
+                   writing directly (std::ofstream / fopen). Durable bytes
+                   in those layers go through the checksummed io layer
+                   (io/checked_file.h, io/run_store.h) so every artifact
+                   carries a CRC32C seal and every write passes the
+                   DiskModel's fault-injection sites; a raw write silently
+                   bypasses both. Reads (std::ifstream) are fine — they
+                   can't create unsealed artifacts.
+
 Suppression: a finding may be allowed with an inline justification on the
 same line or the line above:
 
@@ -99,6 +108,18 @@ RULES = [
         ),
         "message": "ambient nondeterminism in library code; use the seeded "
                    "streams in common/rng.h so runs replay bit-for-bit",
+    },
+    {
+        "id": "raw-file-write",
+        "paths": ("src/core/", "src/io/", "src/net/"),
+        # The checksummed io layer is where the raw writes are supposed to
+        # live — everything else goes through it.
+        "exempt": ("src/io/checked_file.cc",),
+        "pattern": re.compile(r"\bofstream\b|\bfopen\s*\("),
+        "message": "raw file write outside the checksummed io layer; use "
+                   "io/checked_file.h (sealed files / manifest lines) or "
+                   "io/run_store.h so the artifact is CRC-sealed and the "
+                   "write passes the fault-injection sites",
     },
 ]
 

@@ -82,7 +82,8 @@ check(proc.stdout.count("[wall-clock]") == 2,
 proc = subprocess.run([sys.executable, SNCHECK, "--list-rules"],
                       capture_output=True, text=True)
 check(proc.returncode == 0, "--list-rules: expected exit 0")
-for rule in ("wall-clock", "raw-wire-bytes", "typed-throw", "nondeterminism"):
+for rule in ("wall-clock", "raw-wire-bytes", "typed-throw", "nondeterminism",
+             "raw-file-write"):
     check(rule in proc.stdout, f"--list-rules missing {rule}")
 
 if failures:

@@ -1,0 +1,15 @@
+// Fixture: direct file writes in a checksummed layer. Both the ofstream and
+// the fopen bypass the CRC seal and the DiskModel fault-injection sites.
+#include <cstdio>
+#include <fstream>
+
+namespace sncube {
+
+void WriteUnsealed(const char* path) {
+  std::ofstream out(path, std::ios::binary);  // EXPECT raw-file-write
+  out << "no checksum on these bytes";
+  std::FILE* f = std::fopen(path, "ab");  // EXPECT raw-file-write
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace sncube

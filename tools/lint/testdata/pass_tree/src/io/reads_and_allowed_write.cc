@@ -1,0 +1,20 @@
+// Fixture: reads are not writes, and a justified allow excuses a raw write.
+#include <fstream>
+#include <string>
+
+namespace sncube {
+
+std::string ReadBack(const char* path) {
+  std::ifstream in(path, std::ios::binary);  // reads never create artifacts
+  std::string all;
+  std::getline(in, all, '\0');
+  return all;
+}
+
+void DumpDebugState(const char* path, const std::string& state) {
+  // sncheck:allow(raw-file-write): throwaway debug dump, never read back by the system
+  std::ofstream out(path, std::ios::trunc);
+  out << state;
+}
+
+}  // namespace sncube

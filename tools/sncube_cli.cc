@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/explorer.h"
 #include "common/timer.h"
 #include "core/parallel_cube.h"
 #include "data/generator.h"
@@ -65,6 +66,7 @@ constexpr const char* kHelpText =
     "  info       list the views stored in a cube directory\n"
     "  query      answer one group-by query from a cube directory\n"
     "  serve      replay a synthetic query mix through the CubeServer\n"
+    "  chaos      randomized fault-injection search with plan shrinking\n"
     "  help       print this text\n"
     "\n"
     "sncube generate --rows N --cards C0,C1,... --out facts.csv\n"
@@ -116,7 +118,20 @@ constexpr const char* kHelpText =
     "  --seed S           workload RNG seed (default 42)\n"
     "  --trace-out FILE   write a Chrome trace of worker request handling\n"
     "                     (wall clock; non-deterministic by nature)\n"
-    "  --summary-out FILE write unified metrics registry JSON to FILE\n";
+    "  --summary-out FILE write unified metrics registry JSON to FILE\n"
+    "\n"
+    "sncube chaos --plans N --seed S\n"
+    "  runs N random fault plans per cluster size; each trial builds a cube\n"
+    "  under the plan (restarting from its checkpoints on abort) and checks\n"
+    "  the result byte-identical to a fault-free build. A failing plan is\n"
+    "  shrunk to a minimal reproducing spec. Exit 0 = all trials upheld the\n"
+    "  invariant; exit 4 = integrity violation found (see the JSON report).\n"
+    "  --plans N          random fault plans per cluster size (default 16)\n"
+    "  --seed S           master seed for plan generation (default 1)\n"
+    "  --procs P0,P1,...  cluster sizes to exercise (default 2,4)\n"
+    "  --rows R           synthetic fact rows per trial (default 600)\n"
+    "  --fail-out FILE    append each minimal failing plan spec, one per line\n"
+    "  --verbose          per-trial progress on stderr\n";
 
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -509,6 +524,42 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdChaos(const Args& args) {
+  chaos::ChaosOptions opts;
+  opts.plans = std::atoi(args.Get("plans").value_or("16").c_str());
+  opts.seed = static_cast<std::uint64_t>(
+      std::atoll(args.Get("seed").value_or("1").c_str()));
+  opts.rows = static_cast<std::uint64_t>(
+      std::atoll(args.Get("rows").value_or("600").c_str()));
+  if (const auto procs = args.Get("procs")) {
+    opts.procs.clear();
+    for (const auto& p : SplitCommas(*procs)) {
+      opts.procs.push_back(std::atoi(p.c_str()));
+    }
+  }
+  if (opts.plans < 1 || opts.rows < 1 || opts.procs.empty()) {
+    Usage("--plans and --rows must be >= 1 and --procs non-empty");
+  }
+  for (const int p : opts.procs) {
+    if (p < 2) Usage("chaos --procs entries must be >= 2");
+  }
+  opts.verbose = args.Has("verbose");
+
+  const chaos::ChaosReport report = chaos::RunChaosSearch(opts);
+  std::printf("%s\n", report.ToJson().c_str());
+  if (const auto fail_out = args.Get("fail-out")) {
+    if (!report.ok()) {
+      std::ofstream os(*fail_out, std::ios::app);
+      if (!os.good()) Usage(("cannot write " + *fail_out).c_str());
+      for (const auto& f : report.failures) {
+        os << f.procs << ' ' << f.plan.ToSpec() << '\n';
+      }
+      std::fprintf(stderr, "minimal failing plans: %s\n", fail_out->c_str());
+    }
+  }
+  return report.ok() ? 0 : 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -520,12 +571,13 @@ int main(int argc, char** argv) {
   }
   try {
     const Args args(argc - 2, argv + 2,
-                    {"local-trees", "min", "max", "json", "bench"});
+                    {"local-trees", "min", "max", "json", "bench", "verbose"});
     if (cmd == "generate") return CmdGenerate(args);
     if (cmd == "build") return CmdBuild(args);
     if (cmd == "info") return CmdInfo(args);
     if (cmd == "query") return CmdQuery(args);
     if (cmd == "serve") return CmdServe(args);
+    if (cmd == "chaos") return CmdChaos(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
