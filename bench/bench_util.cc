@@ -32,6 +32,8 @@ RunResult RunParallel(const DatasetSpec& spec, int p,
                       const ParallelCubeOptions& opts, CostParams cost) {
   const Schema schema = spec.MakeSchema();
   Cluster cluster(p, cost);
+  cluster.set_threads_per_rank(
+      static_cast<int>(EnvInt("SNCUBE_THREADS_PER_RANK", 1)));
   obs::TraceSink trace_sink;
   const char* trace_prefix = std::getenv("SNCUBE_TRACE_OUT");
   if (trace_prefix != nullptr) cluster.set_trace_sink(&trace_sink);
@@ -83,6 +85,8 @@ std::vector<PhaseRow> CollapsePhases(const Cluster& cluster) {
       row.cpu_s += ps.cpu_s;
       row.disk_s += ps.disk_s;
       row.net_s += ps.net_s;
+      row.par_work_s += ps.par_work_s;
+      row.par_span_s += ps.par_span_s;
       row.bytes += ps.bytes_sent;
     }
   }
@@ -100,17 +104,36 @@ std::vector<PhaseRow> CollapsePhases(const Cluster& cluster) {
 
 void PrintPhaseBreakdown(const std::string& label, const RunResult& result) {
   double total = 0;
-  for (const auto& row : result.phases) total += row.total_s();
+  bool any_parallel = false;
+  for (const auto& row : result.phases) {
+    total += row.total_s();
+    any_parallel = any_parallel || row.par_work_s > 0;
+  }
   std::printf("\nphase breakdown [%s] "
               "(totals across ranks, simulated seconds)\n",
               label.c_str());
-  std::printf("%-12s %10s %10s %10s %10s %7s\n", "phase", "cpu_s", "disk_s",
-              "net_s", "MB", "share");
+  // work/span columns only appear once some phase actually ran a parallel
+  // region (threads-per-rank > 1); serial runs keep the classic table.
+  if (any_parallel) {
+    std::printf("%-12s %10s %10s %10s %10s %10s %10s %7s\n", "phase", "cpu_s",
+                "disk_s", "net_s", "work_s", "span_s", "MB", "share");
+  } else {
+    std::printf("%-12s %10s %10s %10s %10s %7s\n", "phase", "cpu_s", "disk_s",
+                "net_s", "MB", "share");
+  }
   for (const auto& row : result.phases) {
-    std::printf("%-12s %10.3f %10.3f %10.3f %10.2f %6.1f%%\n",
-                row.family.c_str(), row.cpu_s, row.disk_s, row.net_s,
-                static_cast<double>(row.bytes) / 1048576.0,
-                total == 0 ? 0.0 : 100.0 * row.total_s() / total);
+    const double share =
+        total == 0 ? 0.0 : 100.0 * row.total_s() / total;
+    if (any_parallel) {
+      std::printf("%-12s %10.3f %10.3f %10.3f %10.3f %10.3f %10.2f %6.1f%%\n",
+                  row.family.c_str(), row.cpu_s, row.disk_s, row.net_s,
+                  row.par_work_s, row.par_span_s,
+                  static_cast<double>(row.bytes) / 1048576.0, share);
+    } else {
+      std::printf("%-12s %10.3f %10.3f %10.3f %10.2f %6.1f%%\n",
+                  row.family.c_str(), row.cpu_s, row.disk_s, row.net_s,
+                  static_cast<double>(row.bytes) / 1048576.0, share);
+    }
   }
 }
 

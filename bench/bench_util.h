@@ -32,6 +32,11 @@ struct PhaseRow {
   double cpu_s = 0;
   double disk_s = 0;
   double net_s = 0;
+  // Parallel-region accounting (exec::TaskPool regions): total work issued
+  // vs critical-path span actually charged to the clock. cpu_s already
+  // includes par_span_s; work − span is the CPU the pool absorbed.
+  double par_work_s = 0;
+  double par_span_s = 0;
   std::uint64_t bytes = 0;
 
   double total_s() const { return cpu_s + disk_s + net_s; }

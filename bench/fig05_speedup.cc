@@ -5,7 +5,13 @@
 // 64, 32, 16, 8, 6, 6; alpha = 0; k = 100%. Paper result: near-linear
 // speedup for the larger input; the smaller input flattens earlier because
 // there is too little local computation to amortize communication.
+//
+// Also emits BENCH_fig05.json — every simulated cost in it is a pure
+// function of (scale, sweep, seed), so a committed copy serves as the
+// regression baseline for tools/bench_compare.py.
 #include "bench_util.h"
+
+#include <fstream>
 
 #include "common/env.h"
 #include "lattice/lattice.h"
@@ -49,5 +55,26 @@ int main() {
   PrintPhaseBreakdown("n=" + std::to_string(sizes[1]) +
                           ", p=" + std::to_string(ps.back()),
                       widest);
+
+  // Simulated seconds only (no wall clock anywhere): deterministic for a
+  // given (SNCUBE_SCALE, SNCUBE_MAXPROC), so diffs against the committed
+  // bench/baselines/BENCH_fig05.json are pure regressions.
+  std::ofstream os("BENCH_fig05.json");
+  os << "{\"bench\":\"fig05_speedup\",\"series\":[";
+  for (int s = 0; s < 2; ++s) {
+    if (s != 0) os << ',';
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "{\"rows\":%lld,\"sim_seq_s\":%.6f,",
+                  static_cast<long long>(sizes[s]), t1[s]);
+    os << buf << "\"points\":[";
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s{\"p\":%d,\"sim_s\":%.6f}",
+                    i == 0 ? "" : ",", ps[i], times[s][i]);
+      os << buf;
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  std::printf("\nwrote BENCH_fig05.json\n");
   return 0;
 }

@@ -1,13 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the sequential kernels: relation
 // sort, pipelined multi-view aggregation vs naive per-view sorting, external
-// sort spill, Hungarian matching, and schedule-tree construction.
+// sort spill, Hungarian matching, and schedule-tree construction — plus a
+// wall-clock sweep of the exec runtime's ParallelSort against the serial
+// sort (1/2/4/8 threads, three record widths), written to BENCH_exec.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "data/generator.h"
+#include "exec/parallel_algo.h"
+#include "exec/task_pool.h"
 #include "io/external_sort.h"
 #include "lattice/lattice.h"
 #include "relation/aggregate.h"
+#include "relation/serialize.h"
 #include "relation/sort.h"
 #include "schedule/matching.h"
 #include "schedule/pipesort.h"
@@ -124,7 +136,86 @@ void BM_PerViewSortFullCube(benchmark::State& state) {
 }
 BENCHMARK(BM_PerViewSortFullCube)->Arg(20000);
 
+// ---------------------------------------------------------------------------
+// exec runtime: serial sort vs ParallelSort, wall clock.
+//
+// Distinct from the sim-clock accounting the figure benches report: this is
+// the real-machine speedup of the work-stealing runtime (acceptance: >= 2x
+// at 4 threads on the local-sort kernel — meaningful only on a host with
+// >= 4 cores; the JSON records the core count so readers can tell).
+
+double MedianSortSeconds(const Relation& rel, std::span<const int> cols,
+                         exec::TaskPool* pool) {
+  // Median of 3 runs keeps one scheduler hiccup from polluting the record.
+  double best[3];
+  for (double& t : best) {
+    WallTimer timer;
+    Relation out = pool == nullptr ? SortRelation(rel, cols)
+                                   : exec::ParallelSortRelation(rel, cols, pool);
+    t = timer.Seconds();
+    benchmark::DoNotOptimize(out);
+  }
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+void RunExecSortSweep() {
+  const std::int64_t rows = BenchRows(300000, 2000000);
+  std::ofstream os("BENCH_exec.json");
+  os << "{\"bench\":\"exec_sort_sweep\",\"rows\":" << rows
+     << ",\"hardware_threads\":" << std::thread::hardware_concurrency()
+     << ",\"sweeps\":[";
+  bool first = true;
+  std::printf("\nexec sort sweep (wall clock, %lld rows)\n",
+              static_cast<long long>(rows));
+  std::printf("%-8s %-8s %12s %12s %8s\n", "width", "threads", "serial_s",
+              "parallel_s", "speedup");
+  for (const int width : {2, 4, 8}) {
+    DatasetSpec spec;
+    spec.rows = rows;
+    spec.cardinalities.assign(static_cast<std::size_t>(width), 64);
+    spec.seed = static_cast<std::uint64_t>(width);
+    const Relation rel = GenerateDataset(spec);
+    const auto cols = IdentityOrder(width);
+    const double serial_s = MedianSortSeconds(rel, cols, nullptr);
+    const ByteBuffer expected = SerializeRelation(SortRelation(rel, cols));
+    for (const int threads : {1, 2, 4, 8}) {
+      exec::TaskPool pool(threads);
+      const double par_s = MedianSortSeconds(rel, cols, &pool);
+      // The sweep doubles as an end-to-end determinism check at scale.
+      if (SerializeRelation(exec::ParallelSortRelation(rel, cols, &pool)) !=
+          expected) {
+        std::fprintf(stderr, "FATAL: ParallelSort diverged from serial "
+                             "(width=%d threads=%d)\n", width, threads);
+        std::exit(1);
+      }
+      const double speedup = par_s > 0 ? serial_s / par_s : 0.0;
+      std::printf("%-8d %-8d %12.4f %12.4f %7.2fx\n", width, threads,
+                  serial_s, par_s, speedup);
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"width\":%d,\"threads\":%d,\"serial_wall_s\":%.6f,"
+                    "\"parallel_wall_s\":%.6f,\"wall_speedup\":%.3f}",
+                    first ? "" : ",", width, threads, serial_s, par_s,
+                    speedup);
+      os << buf;
+      first = false;
+    }
+  }
+  os << "]}\n";
+  std::printf("wrote BENCH_exec.json\n");
+}
+
 }  // namespace
 }  // namespace sncube
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sncube::RunExecSortSweep();
+  return 0;
+}

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "common/status.h"
 #include "core/key_tuple.h"
 #include "core/sample_sort.h"
 #include "core/sampling_array.h"
+#include "exec/parallel_algo.h"
 #include "net/wire.h"
 #include "obs/trace.h"
 #include "relation/aggregate.h"
@@ -166,9 +168,13 @@ void MergePartitions(Comm& comm, CubeResult& cube,
       const std::vector<int> order(rank0.begin(), rank0.end());
       if (order != vr.order) {
         const auto cols = ColumnsOf(id, order);
-        comm.ChargeSortRecords(vr.rel.size());
+        // Parallel region: re-sort on the rank's exec pool, charged at
+        // span (work / threads_per_rank).
+        std::optional<obs::ScopedSpan> exec_span;
+        if (comm.threads_per_rank() > 1) exec_span.emplace("exec-sort");
+        comm.ChargeSortRecordsParallel(vr.rel.size());
         comm.disk().ChargeRead(vr.rel.ByteSize());
-        vr.rel = SortRelation(vr.rel, cols);
+        vr.rel = exec::SortRelationAuto(vr.rel, cols);
         comm.disk().ChargeWrite(vr.rel.ByteSize());
         vr.order = order;
       }
@@ -392,10 +398,17 @@ void MergePartitions(Comm& comm, CubeResult& cube,
         merge_inputs.reserve(runs.size() + 1);
         merge_inputs.push_back(std::move(tail));
         for (Relation& run : runs) merge_inputs.push_back(std::move(run));
-        Relation region = MergeSortedRuns(merge_inputs, plan.cols);
-        comm.ChargeCpu(static_cast<double>(region.size()) *
-                       std::log2(std::max(p, 2)) *
-                       comm.cost().cpu_sort_record_s);
+        // Parallel region: Case-2 agglomeration merge on the exec pool,
+        // charged at span; the collapse scan below stays serial.
+        Relation region;
+        {
+          std::optional<obs::ScopedSpan> exec_span;
+          if (comm.threads_per_rank() > 1) exec_span.emplace("exec-merge");
+          region = exec::MergeSortedRunsAuto(merge_inputs, plan.cols);
+          comm.ChargeParallelCpu(static_cast<double>(region.size()) *
+                                 std::log2(std::max(p, 2)) *
+                                 comm.cost().cpu_sort_record_s);
+        }
         comm.ChargeScanRecords(region.size());
         comm.disk().ChargeRead((kept.size() - split) * kept.RowBytes());
         Relation collapsed = CollapseSorted(region, opts.fn);

@@ -61,7 +61,9 @@ CubeResult OneDimPartitionCube(Comm& comm, const Relation& local_raw,
   CubeResult cube = SequentialCube(slice, schema, AllViews(d), fn,
                                    &comm.disk(), &exec);
   comm.ChargeScanRecords(exec.records_scanned + exec.rows_emitted);
-  comm.ChargeCpu(exec.sort_cost_units * comm.cost().cpu_sort_record_s);
+  // Pipeline sorts run on the rank's exec pool: charge span, like
+  // ChargeExecStats in parallel_cube.cc.
+  comm.ChargeParallelCpu(exec.sort_cost_units * comm.cost().cpu_sort_record_s);
 
   // Views without D0 are partial per rank: merge them globally. Process in
   // deterministic order (collective discipline).

@@ -18,8 +18,11 @@ namespace sncube {
 namespace {
 
 void ChargeExecStats(Comm& comm, const ExecStats& es) {
+  // Scans (EmitChain's group-carry pass) are inherently serial; the
+  // pipeline sorts behind sort_cost_units ran on the rank's exec pool, so
+  // their work is charged at span (work / threads_per_rank).
   comm.ChargeScanRecords(es.records_scanned + es.rows_emitted);
-  comm.ChargeCpu(es.sort_cost_units * comm.cost().cpu_sort_record_s);
+  comm.ChargeParallelCpu(es.sort_cost_units * comm.cost().cpu_sort_record_s);
 }
 
 // True when `part` contains every view of the full-cube Di-partition for its

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/status.h"
 #include "core/key_tuple.h"
+#include "exec/parallel_algo.h"
 #include "io/external_sort.h"
 #include "net/wire.h"
 #include "obs/trace.h"
@@ -54,7 +56,13 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
     comm.disk().ChargeRead(local.ByteSize());
     sorted = std::move(local);
   } else {
-    comm.ChargeSortRecords(local.size());
+    // Parallel region: the sort runs on the rank's exec pool (ExternalSort
+    // picks it up via exec::CurrentPool()) and is charged at span, not
+    // work. The span is emitted only when a pool is active so serial runs
+    // keep the pre-exec trace byte-identical.
+    std::optional<obs::ScopedSpan> exec_span;
+    if (comm.threads_per_rank() > 1) exec_span.emplace("exec-sort");
+    comm.ChargeSortRecordsParallel(local.size());
     sorted = ExternalSort(local, sort_cols, comm.disk());
   }
   local.Clear();
@@ -165,10 +173,16 @@ Relation AdaptiveSampleSort(Comm& comm, Relation local,
     runs.push_back(DeserializeRelation(buf, width));
     buf.clear();
   }
-  Relation merged = MergeSortedRuns(runs, sort_cols);
-  runs.clear();
-  comm.ChargeCpu(static_cast<double>(merged.size()) *
-                 std::log2(std::max(p, 2)) * comm.cost().cpu_sort_record_s);
+  Relation merged;
+  {
+    std::optional<obs::ScopedSpan> exec_span;
+    if (comm.threads_per_rank() > 1) exec_span.emplace("exec-merge");
+    merged = exec::MergeSortedRunsAuto(runs, sort_cols);
+    runs.clear();
+    comm.ChargeParallelCpu(static_cast<double>(merged.size()) *
+                           std::log2(std::max(p, 2)) *
+                           comm.cost().cpu_sort_record_s);
+  }
   comm.disk().ChargeWrite(merged.ByteSize());
 
   // Step 6: measure imbalance; shift only if it exceeds gamma.

@@ -1,0 +1,67 @@
+// Deterministic divide-and-conquer sort/merge over Relations, built on
+// exec::TaskPool.
+//
+// ParallelSortedPermutation is a chunked stable merge sort: the permutation
+// is split into `threads` contiguous chunks (boundaries a pure function of
+// n and the thread count), each chunk is stable_sorted in parallel, then
+// adjacent runs are merged pairwise; each pair merge is itself split into
+// key-aligned segments merged concurrently into disjoint output ranges.
+// Every merge takes the left run first on equal keys and chunks hold
+// ascending original indices, so the result equals std::stable_sort — i.e.
+// relation/sort.h's SortedPermutation — exactly, for every thread count.
+//
+// ParallelMergeSortedRuns merges k sorted runs as a balanced tournament of
+// pairwise merges over the run list in order; ties go to the lower run
+// index (left subtree), matching relation/merge.h's MergeSortedRuns
+// byte-for-byte.
+//
+// The *Auto variants dispatch on exec::CurrentPool(): with no pool
+// installed (or a single-threaded one) they call the serial implementations
+// directly, so the serial path — control flow, allocation pattern, result —
+// is untouched when threads_per_rank == 1.
+//
+// Cost model: both algorithms do the same O(n log n) comparison work as
+// their serial counterparts (chunk sorts sum to n·log2(n/W); the log2(W)
+// merge rounds add n each), so callers keep charging the serial work
+// formula and divide by the thread count for the span — see
+// Comm::ChargeParallelCpu. GreedyMakespan is the span model for ragged
+// chunk regions (external-sort run formation), where work/threads
+// underestimates the critical path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/task_pool.h"
+#include "relation/relation.h"
+
+namespace sncube::exec {
+
+// Row order of `rel` ascending-lexicographic in `cols`; equals
+// SortedPermutation(rel, cols) for every pool/thread count.
+std::vector<std::uint32_t> ParallelSortedPermutation(const Relation& rel,
+                                                     std::span<const int> cols,
+                                                     TaskPool* pool);
+
+// Sorted copy of `rel`; equals SortRelation(rel, cols) byte-for-byte.
+Relation ParallelSortRelation(const Relation& rel, std::span<const int> cols,
+                              TaskPool* pool);
+
+// Merge of sorted runs; equals MergeSortedRuns(runs, cols) byte-for-byte.
+Relation ParallelMergeSortedRuns(const std::vector<Relation>& runs,
+                                 std::span<const int> cols, TaskPool* pool);
+
+// Dispatch-on-CurrentPool() conveniences for the per-rank kernels.
+Relation SortRelationAuto(const Relation& rel, std::span<const int> cols);
+Relation MergeSortedRunsAuto(const std::vector<Relation>& runs,
+                             std::span<const int> cols);
+
+// Critical-path seconds of deterministic list scheduling: tasks are placed
+// in submission order, each on the currently least-loaded of `workers`
+// contexts (ties → lowest index). This is the span charged for parallel
+// regions whose chunk costs are ragged; for uniform chunks it reduces to
+// ceil(k/workers)·cost, and with workers == 1 it is exactly the sum.
+double GreedyMakespan(std::span<const double> chunk_costs, int workers);
+
+}  // namespace sncube::exec

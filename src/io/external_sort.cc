@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/parallel_algo.h"
+#include "exec/task_pool.h"
 #include "obs/trace.h"
 #include "relation/sort.h"
 
@@ -31,9 +33,10 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
   const std::size_t bytes = input.ByteSize();
 
   if (bytes <= dp.memory_bytes) {
-    // Fits in memory: one read of the input, one write of the output.
+    // Fits in memory: one read of the input, one write of the output. The
+    // sort dispatches to the rank's exec pool when one is installed.
     disk.ChargeRead(bytes);
-    Relation out = SortRelation(input, cols);
+    Relation out = exec::SortRelationAuto(input, cols);
     disk.ChargeWrite(out.ByteSize());
     if (stats != nullptr) {
       *stats = {.runs_formed = 1, .merge_passes = 0, .in_memory = true};
@@ -49,23 +52,69 @@ Relation ExternalSort(const Relation& input, std::span<const int> cols,
       std::max<std::size_t>(1, dp.memory_bytes / row_bytes);
 
   // Phase 1: run formation. Each memory-load of input is read, sorted, and
-  // written back as one sorted, sealed run.
+  // written back as one sorted, sealed run. Chunk boundaries depend only on
+  // rows_per_run (the memory budget), never on the thread count, so the
+  // runs — and everything downstream — are byte-identical in both modes.
   std::vector<int> runs;
   std::vector<RunSeal> seals;
-  for (std::size_t begin = 0; begin < input.size(); begin += rows_per_run) {
-    const std::size_t end = std::min(input.size(), begin + rows_per_run);
-    Relation chunk(input.width());
-    chunk.Reserve(end - begin);
-    for (std::size_t r = begin; r < end; ++r) chunk.AppendRow(input, r);
-    disk.ChargeRead(chunk.ByteSize());
-    Relation sorted = SortRelation(chunk, cols);
+  exec::TaskPool* pool = exec::CurrentPool();
+  if (pool != nullptr && pool->threads() > 1 &&
+      input.size() > rows_per_run) {
+    // Pooled run formation: charge all chunk reads up front in chunk order,
+    // sort the chunks concurrently on the pool, then seal the runs serially
+    // — every DiskModel charge (and with it every fault-injection site)
+    // stays on the rank thread in a deterministic order.
+    std::vector<std::size_t> bounds;
+    for (std::size_t begin = 0; begin < input.size(); begin += rows_per_run) {
+      bounds.push_back(begin);
+    }
+    bounds.push_back(input.size());
+    const std::size_t k = bounds.size() - 1;
+    std::vector<Relation> chunks;
+    chunks.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      Relation chunk(input.width());
+      chunk.Reserve(bounds[c + 1] - bounds[c]);
+      for (std::size_t r = bounds[c]; r < bounds[c + 1]; ++r) {
+        chunk.AppendRow(input, r);
+      }
+      disk.ChargeRead(chunk.ByteSize());
+      chunks.push_back(std::move(chunk));
+    }
+    std::vector<Relation> sorted_chunks(k);
+    {
+      exec::TaskGroup group(pool);
+      for (std::size_t c = 0; c < k; ++c) {
+        group.Run([&chunks, &sorted_chunks, cols, c] {
+          sorted_chunks[c] = SortRelation(chunks[c], cols);
+        });
+      }
+      group.Wait();
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      const int run = rs.CreateRun();
+      RunWriter writer(rs, disk, run, dp.block_bytes);
+      ByteBuffer serialized = SerializeRelation(sorted_chunks[c]);
+      writer.Write(serialized);
+      runs.push_back(run);
+      seals.push_back(writer.Finish());
+    }
+  } else {
+    for (std::size_t begin = 0; begin < input.size(); begin += rows_per_run) {
+      const std::size_t end = std::min(input.size(), begin + rows_per_run);
+      Relation chunk(input.width());
+      chunk.Reserve(end - begin);
+      for (std::size_t r = begin; r < end; ++r) chunk.AppendRow(input, r);
+      disk.ChargeRead(chunk.ByteSize());
+      Relation sorted = SortRelation(chunk, cols);
 
-    const int run = rs.CreateRun();
-    RunWriter writer(rs, disk, run, dp.block_bytes);
-    ByteBuffer serialized = SerializeRelation(sorted);
-    writer.Write(serialized);
-    runs.push_back(run);
-    seals.push_back(writer.Finish());
+      const int run = rs.CreateRun();
+      RunWriter writer(rs, disk, run, dp.block_bytes);
+      ByteBuffer serialized = SerializeRelation(sorted);
+      writer.Write(serialized);
+      runs.push_back(run);
+      seals.push_back(writer.Finish());
+    }
   }
   const std::size_t runs_formed = runs.size();
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "exec/task_pool.h"
 #include "net/internal.h"
 
 namespace sncube {
@@ -20,6 +21,11 @@ Cluster::Cluster(int p, CostParams cost, DiskParams disk)
 
 Cluster::~Cluster() = default;
 
+void Cluster::set_threads_per_rank(int t) {
+  SNCUBE_CHECK_MSG(t >= 1, "threads_per_rank must be >= 1");
+  threads_per_rank_ = t;
+}
+
 void Cluster::Run(const std::function<void(Comm&)>& program) {
   last_failure_.reset();
   std::vector<std::unique_ptr<Comm>> comms;
@@ -29,7 +35,8 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
     // disk counters, and the simulated clock — from zero (run-scoped
     // policy; see cluster.h).
     comms.emplace_back(new Comm(*this, r, p_, cost_, disk_params_,
-                                fault_plan_.empty() ? nullptr : &fault_plan_));
+                                fault_plan_.empty() ? nullptr : &fault_plan_,
+                                threads_per_rank_));
   }
 
   // One trace recorder per rank when tracing is on; each is confined to its
@@ -52,6 +59,15 @@ void Cluster::Run(const std::function<void(Comm&)>& program) {
       threads.emplace_back([&, r] {
         obs::ThreadRecorderScope trace_scope(
             recorders.empty() ? nullptr : recorders[r].get());
+        // The rank's intra-rank exec pool, installed thread-locally exactly
+        // like the trace recorder; kernels reach it via exec::CurrentPool().
+        // Declared before the scope so the scope unwinds first, and the
+        // pool's workers are joined before the rank thread exits.
+        std::unique_ptr<exec::TaskPool> pool;
+        if (threads_per_rank_ > 1) {
+          pool = std::make_unique<exec::TaskPool>(threads_per_rank_);
+        }
+        exec::PoolScope pool_scope(pool.get());
         try {
           program(*comms[r]);
           // Fold disk blocks accrued after the last collective into the

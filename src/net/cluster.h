@@ -83,6 +83,17 @@ class Cluster {
   void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
   void clear_fault_plan() { fault_plan_ = FaultPlan{}; }
 
+  // Intra-rank execution width for subsequent Runs: each rank thread gets a
+  // work-stealing exec::TaskPool of `t` contexts (t-1 real worker threads
+  // plus the rank thread), installed via exec::PoolScope so the per-rank
+  // kernels pick it up through exec::CurrentPool(). The BSP cost model
+  // divides parallel-region work by `t` (span charging — see
+  // Comm::ChargeParallelCpu). Results are byte-identical for every t; only
+  // charged time and host wall time change. Default 1: no pool, no worker
+  // threads, serial accounting bit-identical to the pre-exec runtime.
+  void set_threads_per_rank(int t);
+  int threads_per_rank() const { return threads_per_rank_; }
+
   // Details of the most recent aborted Run; reset on the next Run call.
   const std::optional<FailureReport>& last_failure() const {
     return last_failure_;
@@ -119,6 +130,7 @@ class Cluster {
   int p_;
   CostParams cost_;
   DiskParams disk_params_;
+  int threads_per_rank_ = 1;
   FaultPlan fault_plan_;
   obs::TraceSink* trace_sink_ = nullptr;
   std::unique_ptr<Shared> shared_;

@@ -19,12 +19,14 @@ double TreeDepth(int p) {
 }  // namespace
 
 Comm::Comm(Cluster& cluster, int rank, int size, const CostParams& cost,
-           DiskParams disk_params, const FaultPlan* fault_plan)
+           DiskParams disk_params, const FaultPlan* fault_plan,
+           int threads_per_rank)
     : cluster_(cluster),
       rank_(rank),
       size_(size),
       cost_(cost),
-      disk_(disk_params) {
+      disk_(disk_params),
+      threads_per_rank_(std::max(1, threads_per_rank)) {
   if (fault_plan != nullptr) {
     fault_ = std::make_unique<FaultInjector>(*fault_plan, rank);
     slowdown_ = fault_->slowdown();
@@ -68,6 +70,31 @@ void Comm::ChargeSortRecords(std::uint64_t n) {
   if (n < 2) return;
   const double levels = std::log2(static_cast<double>(n));
   ChargeCpu(static_cast<double>(n) * levels * cost_.cpu_sort_record_s);
+}
+
+void Comm::ChargeParallelCpu(double work_seconds) {
+  // Brent bound span; division by 1.0 is exact, so with one thread this
+  // charges bit-identical seconds to ChargeCpu(work_seconds).
+  ChargeParallelCpu(work_seconds,
+                    work_seconds / static_cast<double>(threads_per_rank_));
+}
+
+void Comm::ChargeParallelCpu(double work_seconds, double span_seconds) {
+  // Work/span accounting only once a pool actually exists: a serial run's
+  // phase stats (and every table derived from them) stay exactly as they
+  // were before the exec runtime.
+  if (threads_per_rank_ > 1) {
+    PhaseStats& ps = stats_.phases[phase_];
+    ps.par_work_s += work_seconds * slowdown_;
+    ps.par_span_s += span_seconds * slowdown_;
+  }
+  ChargeCpu(span_seconds);
+}
+
+void Comm::ChargeSortRecordsParallel(std::uint64_t n) {
+  if (n < 2) return;
+  const double levels = std::log2(static_cast<double>(n));
+  ChargeParallelCpu(static_cast<double>(n) * levels * cost_.cpu_sort_record_s);
 }
 
 double Comm::SimNowSeconds() const {

@@ -60,6 +60,25 @@ class Comm : public obs::SimClockSource {
   // An in-memory sort of n records (n·log2(n) comparison cost).
   void ChargeSortRecords(std::uint64_t n);
 
+  // Intra-rank exec threads the span-based cost model divides parallel-
+  // region work across (>= 1; configured via Cluster::set_threads_per_rank).
+  int threads_per_rank() const { return threads_per_rank_; }
+
+  // Charges a parallel region that executed `work_seconds` of total CPU on
+  // the rank's exec pool. The BSP clock advances by the critical path only:
+  // the two-argument form takes a caller-computed span (e.g. exec::
+  // GreedyMakespan over ragged chunk costs); the one-argument form uses the
+  // Brent bound work/threads_per_rank, which is exact for the balanced
+  // divide-and-conquer kernels in src/exec. Work and span both land in the
+  // phase stats (PhaseStats::par_work_s / par_span_s) so breakdowns can
+  // show parallel efficiency. With threads_per_rank == 1 this is exactly
+  // ChargeCpu(work_seconds) — bit-identical serial accounting.
+  void ChargeParallelCpu(double work_seconds);
+  void ChargeParallelCpu(double work_seconds, double span_seconds);
+  // Parallel-region variant of ChargeSortRecords: same n·log2(n) work,
+  // charged at span = work / threads_per_rank.
+  void ChargeSortRecordsParallel(std::uint64_t n);
+
   // This rank's local disk. Block transfers charged here are converted to
   // simulated seconds at the next collective.
   DiskModel& disk() { return disk_; }
@@ -107,7 +126,8 @@ class Comm : public obs::SimClockSource {
  private:
   friend class Cluster;
   Comm(Cluster& cluster, int rank, int size, const CostParams& cost,
-       DiskParams disk_params, const FaultPlan* fault_plan);
+       DiskParams disk_params, const FaultPlan* fault_plan,
+       int threads_per_rank);
 
   // Converts disk blocks accrued since the last fold into simulated seconds
   // on the local clock, attributed to `ps`.
@@ -135,6 +155,7 @@ class Comm : public obs::SimClockSource {
   CostParams cost_;
   DiskModel disk_;
   std::unique_ptr<FaultInjector> fault_;  // null when no plan is active
+  int threads_per_rank_ = 1;              // intra-rank exec pool width
   double slowdown_ = 1.0;                 // straggler multiplier (>= 1)
   std::uint64_t supersteps_ = 0;          // collectives entered this Run
   std::uint64_t charged_blocks_ = 0;  // blocks already folded into the clock

@@ -21,10 +21,20 @@ struct PhaseStats {
   std::uint64_t messages = 0;      // non-empty destinations in collectives
   std::uint64_t blocks = 0;        // disk block transfers
 
+  // Intra-rank parallel regions (src/exec): total CPU work executed inside
+  // them vs. the critical-path (span) seconds actually charged to the BSP
+  // clock. cpu_s already contains par_span_s; par_work_s - par_span_s is
+  // the CPU time the rank's exec pool absorbed. Both zero when no kernel
+  // used Comm::ChargeParallelCpu in the phase.
+  double par_work_s = 0;
+  double par_span_s = 0;
+
   PhaseStats& operator+=(const PhaseStats& o) {
     cpu_s += o.cpu_s;
     disk_s += o.disk_s;
     net_s += o.net_s;
+    par_work_s += o.par_work_s;
+    par_span_s += o.par_span_s;
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
     messages += o.messages;

@@ -135,6 +135,10 @@ std::string RunSummaryJson(const std::vector<RankStats>& stats,
     AppendSeconds(out, row.total.disk_s);
     out += ",\"net_s\":";
     AppendSeconds(out, row.total.net_s);
+    out += ",\"par_work_s\":";
+    AppendSeconds(out, row.total.par_work_s);
+    out += ",\"par_span_s\":";
+    AppendSeconds(out, row.total.par_span_s);
     out += ",\"bytes_sent\":";
     AppendU64(out, row.total.bytes_sent);
     out += ",\"bytes_received\":";
@@ -202,6 +206,8 @@ void AbsorbRunStats(MetricsRegistry& registry,
   registry.GetGauge("time.cpu_s").Add(total.cpu_s);
   registry.GetGauge("time.disk_s").Add(total.disk_s);
   registry.GetGauge("time.net_s").Add(total.net_s);
+  registry.GetGauge("time.par_work_s").Add(total.par_work_s);
+  registry.GetGauge("time.par_span_s").Add(total.par_span_s);
   registry.GetGauge("run.sim_time_s").Set(sim_time_s);
   registry.GetGauge("run.ranks").Set(static_cast<double>(stats.size()));
 }

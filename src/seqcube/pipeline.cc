@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/parallel_algo.h"
 #include "io/external_sort.h"
 #include "obs/trace.h"
 #include "relation/sort.h"
@@ -158,11 +159,14 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
     // Sort the parent by the pipeline head's order (only those columns
     // matter; deeper chain prefixes are prefixes of the same order).
     const std::vector<int> sort_cols = ColumnsOf(parent.view, n.order);
+    // Both paths dispatch to the rank's exec pool when one is installed
+    // (exec::CurrentPool()); the EmitChain scan below stays serial — its
+    // group-carry across rows is a genuine sequential dependency.
     Relation sorted;
     if (disk != nullptr) {
       sorted = ExternalSort(parent_rel, sort_cols, *disk);
     } else {
-      sorted = SortRelation(parent_rel, sort_cols);
+      sorted = exec::SortRelationAuto(parent_rel, sort_cols);
     }
     if (stats != nullptr) {
       stats->sorts += 1;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "exec/parallel_algo.h"
 #include "io/external_sort.h"
 #include "lattice/lattice.h"
 #include "relation/aggregate.h"
@@ -39,7 +40,7 @@ Relation ComputeRootData(const Relation& raw, ViewId root,
   if (disk != nullptr) {
     sorted = ExternalSort(raw, sort_cols, *disk);
   } else {
-    sorted = SortRelation(raw, sort_cols);
+    sorted = exec::SortRelationAuto(raw, sort_cols);
   }
   if (stats != nullptr) {
     stats->sorts += 1;

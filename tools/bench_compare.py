@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""bench_compare — diff a fresh bench JSON against its committed baseline.
+
+The figure benches run entirely on the simulated BSP clock, so for a fixed
+(SNCUBE_SCALE, SNCUBE_MAXPROC) their cost numbers are pure functions of the
+code: any drift in a `sim` field is a real change to the cost model or the
+algorithms, not measurement noise. This script walks both JSON trees in
+parallel and:
+
+  * FAILS (exit 1) when a numeric field whose key path contains "sim"
+    regressed by more than --tolerance (default 10%) — i.e. simulated cost
+    went UP. Improvements are reported but pass.
+  * Reports every other numeric drift (wall-clock, throughput, ...)
+    informationally: those fields are machine-dependent and never gate.
+  * FAILS on structural drift (field missing/added/type change) — a bench
+    that silently stops emitting a cost cannot "pass" by omission.
+
+Usage:
+    bench_compare.py --baseline bench/baselines/BENCH_fig05.json \
+                     --current  BENCH_fig05.json [--tolerance 0.10]
+
+Exit status: 0 within tolerance, 1 regression or structural drift,
+2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(baseline, current, path, findings):
+    """Appends (path, kind, detail, rel) tuples; kind in {regress, improve,
+    info, structure}; rel is the signed relative drift for sim fields."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(baseline.keys() | current.keys()):
+            if key not in baseline:
+                findings.append((f"{path}.{key}", "structure",
+                                 "field added (not in baseline)", None))
+            elif key not in current:
+                findings.append((f"{path}.{key}", "structure",
+                                 "field missing from current run", None))
+            else:
+                walk(baseline[key], current[key], f"{path}.{key}", findings)
+        return
+    if isinstance(baseline, list) and isinstance(current, list):
+        if len(baseline) != len(current):
+            findings.append((path, "structure",
+                             f"length {len(baseline)} -> {len(current)}",
+                             None))
+            return
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            walk(b, c, f"{path}[{i}]", findings)
+        return
+    b_num = isinstance(baseline, (int, float)) and not isinstance(baseline, bool)
+    c_num = isinstance(current, (int, float)) and not isinstance(current, bool)
+    if b_num and c_num:
+        if baseline == current:
+            return
+        rel = ((current - baseline) / abs(baseline)) if baseline != 0 else \
+            float("inf")
+        detail = f"{baseline:g} -> {current:g} ({rel:+.1%})"
+        if "sim" in path.lower():
+            findings.append((path, "regress" if rel > 0 else "improve",
+                             detail, rel))
+        else:
+            findings.append((path, "info", detail, None))
+        return
+    if baseline != current:
+        findings.append((path, "structure",
+                         f"{baseline!r} -> {current!r}", None))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description="fail when simulated bench costs regress vs the baseline")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max allowed relative sim-cost increase "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args.current, encoding="utf-8") as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    findings = []
+    walk(baseline, current, "$", findings)
+
+    failures = 0
+    for path, kind, detail, rel in findings:
+        if kind == "structure":
+            print(f"FAIL  {path}: {detail}")
+            failures += 1
+        elif kind == "regress":
+            if rel > args.tolerance:
+                print(f"FAIL  {path}: sim cost regressed {detail}")
+                failures += 1
+            else:
+                print(f"ok    {path}: sim cost drift within tolerance "
+                      f"{detail}")
+        elif kind == "improve":
+            print(f"ok    {path}: sim cost improved {detail}")
+        else:
+            print(f"info  {path}: {detail} (non-sim, not gated)")
+
+    if failures:
+        print(f"bench_compare: {failures} failure(s) "
+              f"(tolerance {args.tolerance:.0%})", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(findings)} drift(s), none gating)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

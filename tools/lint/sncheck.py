@@ -32,6 +32,15 @@ Enforces invariants no off-the-shelf checker knows about, as compile-time
                    randomness derives from common/rng.h seeded streams so
                    runs, tests, and fault plans replay bit-for-bit.
 
+  raw-thread       src/core, src/io, src/exec must not spawn raw threads
+                   (std::thread / std::jthread / std::async). Intra-rank
+                   parallelism goes through the exec::TaskPool runtime so
+                   span accounting, determinism (stable chunk boundaries),
+                   and the capability-annotated locking discipline all hold;
+                   a raw thread bypasses every one of them. The pool
+                   implementation itself (src/exec/task_pool.cc) is the one
+                   sanctioned home of real threads.
+
   raw-file-write   src/core, src/io, src/net must not open files for
                    writing directly (std::ofstream / fopen). Durable bytes
                    in those layers go through the checksummed io layer
@@ -108,6 +117,20 @@ RULES = [
         ),
         "message": "ambient nondeterminism in library code; use the seeded "
                    "streams in common/rng.h so runs replay bit-for-bit",
+    },
+    {
+        "id": "raw-thread",
+        "paths": ("src/core/", "src/io/", "src/exec/"),
+        # The pool implementation is where the real threads are supposed to
+        # live — all other intra-rank parallelism rides on exec::TaskPool.
+        # (The header declares the worker vector; the .cc spawns them.)
+        "exempt": ("src/exec/task_pool.cc", "src/exec/task_pool.h"),
+        "pattern": re.compile(
+            r"\bstd::thread\b|\bstd::jthread\b|\bstd::async\b"
+        ),
+        "message": "raw thread outside the exec runtime; use exec::TaskPool "
+                   "(ParallelFor / TaskGroup) so span charging, determinism, "
+                   "and the locking discipline hold",
     },
     {
         "id": "raw-file-write",

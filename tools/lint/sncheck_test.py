@@ -83,7 +83,7 @@ proc = subprocess.run([sys.executable, SNCHECK, "--list-rules"],
                       capture_output=True, text=True)
 check(proc.returncode == 0, "--list-rules: expected exit 0")
 for rule in ("wall-clock", "raw-wire-bytes", "typed-throw", "nondeterminism",
-             "raw-file-write"):
+             "raw-thread", "raw-file-write"):
     check(rule in proc.stdout, f"--list-rules missing {rule}")
 
 if failures:

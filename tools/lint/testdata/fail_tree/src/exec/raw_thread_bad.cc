@@ -1,0 +1,15 @@
+// Fixture: raw thread creation outside the pool implementation. Expect one
+// raw-thread finding per marker-tagged line below.
+#include <future>
+#include <thread>
+
+namespace sncube {
+
+void BadParallelism() {
+  std::thread worker([] {});                        // EXPECT raw-thread
+  auto fut = std::async([] { return 1; });          // EXPECT raw-thread
+  worker.join();
+  (void)fut.get();
+}
+
+}  // namespace sncube

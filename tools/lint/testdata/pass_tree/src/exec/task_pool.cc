@@ -1,0 +1,13 @@
+// Fixture: the exempt pool implementation path. std::thread here must NOT
+// be a finding — src/exec/task_pool.cc is the sanctioned home of real
+// threads (exact-path exemption in the raw-thread rule).
+#include <thread>
+#include <vector>
+
+namespace sncube::exec {
+
+void FixturePoolSpawn(std::vector<std::thread>& workers) {
+  workers.emplace_back([] {});
+}
+
+}  // namespace sncube::exec

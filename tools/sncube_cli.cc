@@ -80,6 +80,8 @@ constexpr const char* kHelpText =
     "  --in FILE            input fact table (CSV of dimension codes)\n"
     "  --out DIR            cube directory to create\n"
     "  --procs P            simulated processors (default 1 = sequential)\n"
+    "  --threads-per-rank W intra-rank worker threads per simulated processor\n"
+    "                       (default 1 = serial; cube bytes identical for any W)\n"
     "  --views N            build only the N greedy-selected views\n"
     "  --fraction F         build the greedy-selected fraction F of views\n"
     "  --gamma G            merge threshold gamma (Merge-Partitions case 3)\n"
@@ -244,6 +246,9 @@ int CmdBuild(const Args& args) {
 
   const int p = std::atoi(args.Get("procs").value_or("1").c_str());
   if (p < 1) Usage("--procs must be >= 1");
+  const int threads_per_rank =
+      std::atoi(args.Get("threads-per-rank").value_or("1").c_str());
+  if (threads_per_rank < 1) Usage("--threads-per-rank must be >= 1");
   ParallelCubeOptions opts;
   if (const auto gamma = args.Get("gamma")) opts.gamma_merge = std::stod(*gamma);
   if (args.Has("local-trees")) {
@@ -270,12 +275,14 @@ int CmdBuild(const Args& args) {
   // Tracing needs the simulated clock, which only exists on the Cluster
   // path — so a traced single-processor build runs as a 1-rank cluster
   // (BuildParallelCube at p == 1 produces the same views as SequentialCube).
+  // The exec pool likewise lives on rank threads, so --threads-per-rank > 1
+  // also takes the cluster path.
   const bool traced = trace_out.has_value() || summary_out.has_value();
 
   const std::string out = args.Require("out");
   WallTimer timer;
   std::uint64_t rows_total = 0;
-  if (p == 1 && !traced) {
+  if (p == 1 && !traced && threads_per_rank == 1) {
     const CubeResult cube = SequentialCube(raw, schema, selected);
     ViewStore store(out);
     // Drop auxiliaries when persisting.
@@ -285,6 +292,7 @@ int CmdBuild(const Args& args) {
     // Simulated shared-nothing build; rank r persists into out/rank<r>/ and
     // rank shards are merged into one store afterwards for querying.
     Cluster cluster(p);
+    cluster.set_threads_per_rank(threads_per_rank);
     if (!fault_plan.empty()) cluster.set_fault_plan(fault_plan);
     obs::TraceSink trace_sink;
     if (traced) cluster.set_trace_sink(&trace_sink);
