@@ -16,9 +16,20 @@
 //   SNCUBE_SERVE_QUERIES  total queries       (default 30000)
 //   SNCUBE_SERVE_ALPHA    query-popularity Zipf exponent (default 1.0)
 //   SNCUBE_SCALE          scales the cube's row count as everywhere else
+//
+// A second phase — the CHURN bench — reruns the same mix through the
+// resilient sharded tier (ShardSet + Router, DESIGN.md §12) under a seeded
+// fault plan that kills one shard and slows another mid-run, and verifies
+// the router's contract live: every kOk answer is compared bit-for-bit
+// against a precomputed golden answer for its pool query, so the headline
+// number is wrong_answers == 0 under churn. Emits BENCH_serve_shard.json
+// with per-outcome counts and the router's ok/error latency quantiles.
+// Extra knob: SNCUBE_SERVE_SHARDS (default 4).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -26,9 +37,13 @@
 #include "common/timer.h"
 #include "data/generator.h"
 #include "lattice/lattice.h"
+#include "net/fault.h"
 #include "query/engine.h"
 #include "seqcube/seq_cube.h"
+#include "serve/query_key.h"
+#include "serve/router.h"
 #include "serve/server.h"
+#include "serve/shard_set.h"
 #include "serve/workload.h"
 
 using namespace sncube;
@@ -119,5 +134,105 @@ int main() {
                 wspec.alpha, wall_s, qps, base_qps, speedup);
   os << buf << "\"stats\":" << stats.ToJson() << "}\n";
   std::printf("wrote BENCH_serve.json\n");
+
+  // ---- Churn phase: the sharded tier under kill/slow faults. ----
+  const int shards = static_cast<int>(EnvInt("SNCUBE_SERVE_SHARDS", 4));
+
+  // Golden answers for the whole pool from the single full-cube engine;
+  // every router answer is checked against these during the run.
+  std::map<std::string, Relation> golden;
+  for (const Query& q : mix.pool()) {
+    Query bare = q;
+    bare.from_view.reset();
+    golden.emplace(CanonicalQueryKey(q), engine.Execute(bare).rel);
+  }
+
+  // Seeded churn: shard 1 dies for the middle third of the run (then comes
+  // back with cold caches), shard 2 runs 3x slow for the first two thirds.
+  // Windows key on router request sequence numbers, so the plan means the
+  // same thing at any request rate.
+  char plan_spec[128];
+  std::snprintf(plan_spec, sizeof plan_spec,
+                "shardkill:1:%lld-%lld;shardslow:2:0-%lld:3.0;seed:9",
+                static_cast<long long>(queries / 3),
+                static_cast<long long>(2 * queries / 3),
+                static_cast<long long>(2 * queries / 3));
+
+  ShardSetOptions sopts;
+  sopts.shards = shards;
+  sopts.server.workers = std::max(1, workers / 2);
+  sopts.server.queue_depth = 1024;
+  sopts.server.cache_bytes = (256u << 20) / static_cast<unsigned>(shards);
+  ShardSet shard_set(cube, sopts, FaultPlan::Parse(plan_spec));
+
+  RouterOptions ropts;
+  ropts.per_try_us = 200000;
+  ropts.max_tries = 3;
+  ropts.hedge_delay_us = 20000;
+  ropts.retry_budget_ratio = 0.5;
+  ropts.breaker.failure_threshold = 5;
+  ropts.breaker.cooldown_us = 50000;
+  ropts.probe_every = 64;
+  Router router(shard_set, ropts);
+
+  std::atomic<std::uint64_t> wrong{0};
+  WallTimer churn_timer;
+  std::vector<std::thread> churn_threads;
+  churn_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    churn_threads.emplace_back([&, c] {
+      Rng rng(2000003ULL * static_cast<std::uint64_t>(c + 1));
+      const std::int64_t n =
+          queries / clients + (c < queries % clients ? 1 : 0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const Query& q = mix.Sample(rng);
+        const RouterResult r = router.Execute(q);
+        if (r.outcome == RouterOutcome::kOk &&
+            !(r.answer->rel == golden.at(CanonicalQueryKey(q)))) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : churn_threads) t.join();
+  const double churn_wall_s = churn_timer.Seconds();
+  const RouterStatsSnapshot rstats = router.Stats();
+  std::uint64_t invalidations = 0;
+  for (int s = 0; s < shards; ++s) {
+    invalidations += shard_set.primary_server(s).Stats().cache.invalidations;
+    invalidations += shard_set.replica_server(s).Stats().cache.invalidations;
+  }
+  shard_set.Shutdown();
+
+  std::printf("churn (%d shards, plan \"%s\"): %llu/%llu ok, %llu retries, "
+              "%llu hedges, %llu shed, wrong answers %llu, ok p99 %.0f us\n",
+              shards, plan_spec,
+              static_cast<unsigned long long>(rstats.ok),
+              static_cast<unsigned long long>(rstats.requests),
+              static_cast<unsigned long long>(rstats.retries),
+              static_cast<unsigned long long>(rstats.hedges),
+              static_cast<unsigned long long>(rstats.shed),
+              static_cast<unsigned long long>(wrong.load()),
+              rstats.ok_latency.p99_us);
+
+  std::ofstream shard_os("BENCH_serve_shard.json");
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"serve_shard\",\"shards\":%d,\"clients\":%d,"
+                "\"queries\":%lld,\"plan\":\"%s\",\"wall_s\":%.4f,"
+                "\"qps\":%.0f,\"wrong_answers\":%llu,"
+                "\"cache_invalidations\":%llu,",
+                shards, clients, static_cast<long long>(queries), plan_spec,
+                churn_wall_s,
+                static_cast<double>(queries) / churn_wall_s,
+                static_cast<unsigned long long>(wrong.load()),
+                static_cast<unsigned long long>(invalidations));
+  shard_os << buf << "\"router\":" << rstats.ToJson() << "}\n";
+  std::printf("wrote BENCH_serve_shard.json\n");
+
+  if (wrong.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu wrong answers under churn\n",
+                 static_cast<unsigned long long>(wrong.load()));
+    return 1;
+  }
   return 0;
 }

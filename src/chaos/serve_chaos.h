@@ -1,0 +1,103 @@
+// Chaos search over serve-tier fault plans.
+//
+// The build-side explorer (chaos/explorer.h) hammers on integrity: a
+// completed build is byte-identical to a fault-free one. This harness is its
+// serving-tier sibling, and its invariant is the router's contract:
+//
+//   NO WRONG ANSWERS, EVER. Every Router::Execute response is either
+//   bit-correct (equal to the single-engine golden answer over the full
+//   cube), a typed error (failed / timed out / unavailable), or an explicit
+//   shed. Degraded service is acceptable under faults; silent corruption of
+//   an answer is the one unforgivable outcome.
+//
+// A trial runs a deterministic query workload through a Router over a
+// ShardSet driven by a ManualServeClock, under a serve fault plan
+// (shardkill/shardslow windows keyed on request sequence numbers — see
+// net/fault.h). Determinism is total: virtual time only advances through
+// policy sleeps and injected slowness, so a given (plan, seed) replays
+// bit-for-bit, which makes greedy plan shrinking sound. Failing plans are
+// shrunk ddmin-style (drop clauses, then shrink windows and factors) and
+// reported through the same ChaosReport shape the build explorer uses, so
+// the nightly chaos job handles both tiers uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/explorer.h"
+#include "common/rng.h"
+#include "net/fault.h"
+#include "query/engine.h"
+#include "relation/schema.h"
+#include "seqcube/cube_result.h"
+#include "serve/workload.h"
+
+namespace sncube {
+namespace chaos {
+
+struct ServeChaosOptions {
+  // Random serve plans to try per shard count.
+  int plans = 16;
+  // Master seed: plan generation and the query workload derive from it.
+  std::uint64_t seed = 1;
+  // Shard counts to exercise.
+  std::vector<int> shard_counts = {2, 4};
+  // Synthetic dataset the served cube is built over.
+  std::uint64_t rows = 600;
+  std::vector<std::uint32_t> cards = {8, 5, 3};
+  std::uint64_t data_seed = 29;
+  // Router requests per trial; fault windows are drawn inside [0, requests).
+  int requests = 200;
+  // Query mix the requests are sampled from.
+  WorkloadSpec workload;
+  // TEST-ONLY escape hatch (cf. ChaosOptions::verify_restore): false stops
+  // the router from pinning one view across a scatter (RouterOptions::
+  // pin_scatter_view), re-opening the mixed-view wrong-answer bug so tests
+  // can demonstrate this harness catching and shrinking a real corruption.
+  bool pin_scatter_view = true;
+  // Progress lines to stderr.
+  bool verbose = false;
+};
+
+// Draws one random serve plan for `shards` shards over a `requests`-long
+// run: kill windows (sometimes endless) and slowdown windows per shard.
+// Never empty; deterministic under `rng`. Exposed for tests.
+FaultPlan RandomServePlan(Rng& rng, int shards, std::uint64_t requests);
+
+// One shard count's trial harness. Construction builds the cube once,
+// precomputes every request's golden answer from a single full-cube engine,
+// and reuses both across plans.
+class ServeChaosTrial {
+ public:
+  ServeChaosTrial(const ServeChaosOptions& opts, int shards);
+  ~ServeChaosTrial();
+
+  // Replays the workload through a freshly built ShardSet + Router under
+  // `plan`. Returns std::nullopt when every response upholds the invariant,
+  // otherwise a human-readable description of the first wrong answer.
+  std::optional<std::string> Check(const FaultPlan& plan);
+
+  // Shrinks a plan for which Check fails to a minimal still-failing plan:
+  // greedy clause removal to a fixpoint, then window/factor shrinking.
+  FaultPlan Shrink(const FaultPlan& plan);
+
+ private:
+  ServeChaosOptions opts_;
+  int shards_;
+  Schema schema_;
+  CubeResult cube_;
+  std::unique_ptr<CubeQueryEngine> golden_;
+  std::vector<Query> requests_;
+  std::vector<Relation> golden_rels_;  // golden answer per request
+};
+
+// The full search: for each shard count, `plans` random serve plans, each
+// checked and — on failure — shrunk. Deterministic given the options.
+// Failures report the shard count in ChaosFailure::procs.
+ChaosReport RunServeChaosSearch(const ServeChaosOptions& opts);
+
+}  // namespace chaos
+}  // namespace sncube

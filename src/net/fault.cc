@@ -47,6 +47,30 @@ double ParseRate(const std::string& clause, const std::string& value) {
   return rate;
 }
 
+std::uint64_t ParseU64(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    ParseFail(clause, "bad number");
+  }
+  return v;
+}
+
+// Parses "<from>[-<until>]" — a half-open request-sequence window. An
+// omitted <until> means FaultPlan::kNoEnd ("for the rest of the run").
+void ParseWindow(const std::string& clause, const std::string& text,
+                 std::uint64_t* from, std::uint64_t* until) {
+  const auto dash = text.find('-');
+  if (dash == std::string::npos) {
+    *from = ParseU64(clause, text);
+    *until = FaultPlan::kNoEnd;
+    return;
+  }
+  *from = ParseU64(clause, text.substr(0, dash));
+  *until = ParseU64(clause, text.substr(dash + 1));
+  if (*until <= *from) ParseFail(clause, "empty window");
+}
+
 // One clause per (kind, rank): a second "slow:1x…" is far more likely a typo
 // than an intent to compose multipliers, so it is rejected outright.
 void RejectDuplicate(const std::string& clause, std::set<std::pair<std::string, int>>& seen,
@@ -108,6 +132,27 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
       RejectDuplicate(clause, seen, kind, tw.rank);
       tw.rate = ParseRate(clause, value);
       plan.torn_writes.push_back(tw);
+    } else if (kind == "shardkill") {
+      ShardKill sk;
+      std::string value;
+      SplitRankValue(clause, body, ':', &sk.shard, &value);
+      RejectDuplicate(clause, seen, kind, sk.shard);
+      ParseWindow(clause, value, &sk.from, &sk.until);
+      plan.shard_kills.push_back(sk);
+    } else if (kind == "shardslow") {
+      ShardSlow sl;
+      std::string value;
+      SplitRankValue(clause, body, ':', &sl.shard, &value);
+      RejectDuplicate(clause, seen, kind, sl.shard);
+      const auto last_colon = value.rfind(':');
+      if (last_colon == std::string::npos || last_colon == 0 ||
+          last_colon + 1 >= value.size()) {
+        ParseFail(clause, "expected <shard>:<window>:<factor>");
+      }
+      ParseWindow(clause, value.substr(0, last_colon), &sl.from, &sl.until);
+      sl.factor = ParseNumber(clause, value.substr(last_colon + 1));
+      if (!(sl.factor >= 1.0)) ParseFail(clause, "factor must be >= 1");
+      plan.shard_slows.push_back(sl);
     } else if (kind == "seed") {
       if (seen_seed) ParseFail(clause, "duplicate seed clause");
       seen_seed = true;
@@ -145,6 +190,17 @@ std::string FaultPlan::ToSpec() const {
   }
   for (const auto& tw : torn_writes) {
     out << sep << "tornwrite:" << tw.rank << ":" << tw.rate;
+    sep = ";";
+  }
+  for (const auto& sk : shard_kills) {
+    out << sep << "shardkill:" << sk.shard << ":" << sk.from;
+    if (sk.until != kNoEnd) out << "-" << sk.until;
+    sep = ";";
+  }
+  for (const auto& sl : shard_slows) {
+    out << sep << "shardslow:" << sl.shard << ":" << sl.from;
+    if (sl.until != kNoEnd) out << "-" << sl.until;
+    out << ":" << sl.factor;
     sep = ";";
   }
   out << sep << "seed:" << seed;

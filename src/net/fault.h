@@ -21,10 +21,25 @@
 //                             random offset w.p. rate (torn write)
 //   seed:<n>                  RNG seed for all probabilistic draws
 //
-// joined with ';', e.g. "kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7".
-// Parse rejects duplicate clauses for the same (kind, rank), rates outside
-// [0,1], slow factors below 1, and non-numeric values — each with a typed
-// SncubeError naming the offending clause.
+// Serve-tier clauses target the sharded serving layer instead of build
+// ranks; their windows are half-open intervals of ROUTER REQUEST SEQUENCE
+// NUMBERS (0-based, assigned at Router::Execute entry), so a plan replays
+// identically regardless of wall-clock speed:
+//
+//   shardkill:<shard>:<from>[-<until>]
+//                             shard is down for requests [from, until);
+//                             omitted <until> means "for the rest of the
+//                             run". When the window closes the shard comes
+//                             back with COLD CACHES (restart semantics).
+//   shardslow:<shard>:<from>[-<until>]:<factor>
+//                             shard's service time is stretched by factor
+//                             (>= 1) for requests in the window
+//
+// joined with ';', e.g. "kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7" or
+// "shardkill:1:40-90;shardslow:0:0-200:8;seed:3".
+// Parse rejects duplicate clauses for the same (kind, rank/shard), rates
+// outside [0,1], slow factors below 1, empty windows, and non-numeric
+// values — each with a typed SncubeError naming the offending clause.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +52,9 @@
 namespace sncube {
 
 struct FaultPlan {
+  // "Window never closes" sentinel for serve-tier clause windows.
+  static constexpr std::uint64_t kNoEnd = ~0ULL;
+
   struct Kill {
     int rank = 0;
     std::uint64_t at_superstep = 0;  // collective index within the Run
@@ -57,17 +75,35 @@ struct FaultPlan {
     int rank = 0;
     double rate = 0.0;  // per-written-frame truncation probability
   };
+  // Serve tier: shard is unreachable for router request sequence numbers in
+  // [from, until). kNoEnd means the shard never comes back.
+  struct ShardKill {
+    int shard = 0;
+    std::uint64_t from = 0;
+    std::uint64_t until = kNoEnd;
+  };
+  // Serve tier: shard's service time is multiplied by factor (>= 1) for
+  // router request sequence numbers in [from, until).
+  struct ShardSlow {
+    int shard = 0;
+    std::uint64_t from = 0;
+    std::uint64_t until = kNoEnd;
+    double factor = 1.0;
+  };
 
   std::vector<Kill> kills;
   std::vector<Straggler> stragglers;
   std::vector<DiskErrors> disk_errors;
   std::vector<BitFlips> bit_flips;
   std::vector<TornWrites> torn_writes;
+  std::vector<ShardKill> shard_kills;
+  std::vector<ShardSlow> shard_slows;
   std::uint64_t seed = 0;
 
   bool empty() const {
     return kills.empty() && stragglers.empty() && disk_errors.empty() &&
-           bit_flips.empty() && torn_writes.empty();
+           bit_flips.empty() && torn_writes.empty() && shard_kills.empty() &&
+           shard_slows.empty();
   }
 
   // Parses the spec grammar above; throws SncubeError on malformed input.

@@ -18,6 +18,15 @@ ViewId CubeQueryEngine::Route(const Query& query) const {
   ViewId needed = query.group_by;
   for (const auto& f : query.filters) needed = needed.With(f.dim);
 
+  if (query.from_view.has_value()) {
+    const auto it = cube_.views.find(*query.from_view);
+    SNCUBE_CHECK_MSG(it != cube_.views.end() && it->second.selected,
+                     "from_view is not materialized");
+    SNCUBE_CHECK_MSG(needed.IsSubsetOf(*query.from_view),
+                     "from_view does not cover the query");
+    return *query.from_view;
+  }
+
   ViewId best;
   std::size_t best_rows = std::numeric_limits<std::size_t>::max();
   bool found = false;
@@ -77,25 +86,27 @@ QueryAnswer CubeQueryEngine::Execute(const Query& query) const {
   answer.rel =
       SortAndAggregate(projected, IdentityOrder(projected.width()), query.fn);
 
-  if (query.top_k > 0 &&
-      static_cast<std::size_t>(query.top_k) < answer.rel.size()) {
-    // ORDER BY measure DESC LIMIT top_k (ties by key order for determinism).
-    std::vector<std::size_t> rows(answer.rel.size());
-    std::iota(rows.begin(), rows.end(), 0u);
-    const auto k = static_cast<std::size_t>(query.top_k);
-    std::partial_sort(rows.begin(), rows.begin() + k, rows.end(),
-                      [&](std::size_t a, std::size_t b) {
-                        if (answer.rel.measure(a) != answer.rel.measure(b)) {
-                          return answer.rel.measure(a) > answer.rel.measure(b);
-                        }
-                        return a < b;
-                      });
-    Relation top(answer.rel.width());
-    top.Reserve(k);
-    for (std::size_t i = 0; i < k; ++i) top.AppendRow(answer.rel, rows[i]);
-    answer.rel = std::move(top);
-  }
+  answer.rel = TopKByMeasure(answer.rel, query.top_k);
   return answer;
+}
+
+Relation TopKByMeasure(const Relation& rel, int k) {
+  if (k <= 0 || static_cast<std::size_t>(k) >= rel.size()) return rel;
+  // ORDER BY measure DESC LIMIT k (ties by key order for determinism).
+  std::vector<std::size_t> rows(rel.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  const auto kk = static_cast<std::size_t>(k);
+  std::partial_sort(rows.begin(), rows.begin() + kk, rows.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (rel.measure(a) != rel.measure(b)) {
+                        return rel.measure(a) > rel.measure(b);
+                      }
+                      return a < b;
+                    });
+  Relation top(rel.width());
+  top.Reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) top.AppendRow(rel, rows[i]);
+  return top;
 }
 
 }  // namespace sncube

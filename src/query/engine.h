@@ -34,6 +34,13 @@ struct Query {
   // key ascending) — ORDER BY measure DESC LIMIT k. 0 = all groups, key
   // order.
   int top_k = 0;
+  // When set, the engine answers from exactly this materialized view
+  // instead of routing (it must cover the query and be materialized — a
+  // typed error otherwise). The sharded serving tier uses this to pin every
+  // shard's sub-query to one view: shard slices are partitioned per view by
+  // leading-dimension hash, so partial answers only compose when all slices
+  // scan the SAME view (see serve/shard_set.h).
+  std::optional<ViewId> from_view;
 };
 
 struct QueryAnswer {
@@ -41,6 +48,12 @@ struct QueryAnswer {
   ViewId answered_from;  // the materialized view the engine scanned
   std::uint64_t rows_scanned = 0;
 };
+
+// ORDER BY measure DESC LIMIT k over an aggregated relation (ties broken by
+// row order, i.e. key order, for determinism). k <= 0 or k >= size returns
+// the input unchanged. Shared by the engine and the scatter/gather router,
+// which must re-apply top-k after merging per-shard partials.
+Relation TopKByMeasure(const Relation& rel, int k);
 
 // Thread safety: CubeQueryEngine is logically const. Route and Execute only
 // read the referenced CubeResult and allocate their results locally, so any

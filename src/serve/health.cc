@@ -1,0 +1,108 @@
+#include "serve/health.h"
+
+namespace sncube {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::AllowRequest(std::uint64_t now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_us - opened_at_us_ < options_.cooldown_us) return false;
+      state_ = BreakerState::kHalfOpen;
+      ++half_opened_;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::OnSuccess(std::uint64_t now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      // Age out stale failures so the window reflects recent health only.
+      while (!failure_times_.empty() &&
+             now_us - failure_times_.front() > options_.window_us) {
+        failure_times_.pop_front();
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      if (++probe_successes_ >= options_.half_open_probes) {
+        state_ = BreakerState::kClosed;
+        ++closed_;
+        failure_times_.clear();
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+      }
+      return;
+    case BreakerState::kOpen:
+      // A straggler response from before the breaker opened; ignore.
+      return;
+  }
+}
+
+void CircuitBreaker::OnFailure(std::uint64_t now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      failure_times_.push_back(now_us);
+      while (!failure_times_.empty() &&
+             now_us - failure_times_.front() > options_.window_us) {
+        failure_times_.pop_front();
+      }
+      if (static_cast<int>(failure_times_.size()) >=
+          options_.failure_threshold) {
+        Open(now_us);
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      // One failed probe is enough evidence the shard is still sick.
+      Open(now_us);
+      return;
+    case BreakerState::kOpen:
+      return;
+  }
+}
+
+void CircuitBreaker::Open(std::uint64_t now_us) {
+  state_ = BreakerState::kOpen;
+  opened_at_us_ = now_us;
+  ++opened_;
+  failure_times_.clear();
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+}
+
+void LoadShedder::Note(bool pressure) {
+  MutexLock lock(mu_);
+  window_.push_back(pressure);
+  if (pressure) ++pressure_;
+  while (static_cast<int>(window_.size()) > options_.window) {
+    if (window_.front()) --pressure_;
+    window_.pop_front();
+  }
+}
+
+int LoadShedder::Level() const {
+  MutexLock lock(mu_);
+  if (pressure_ >= options_.shed_point_at) return 2;
+  if (pressure_ >= options_.shed_scatter_at) return 1;
+  return 0;
+}
+
+}  // namespace sncube

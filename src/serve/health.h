@@ -1,0 +1,164 @@
+// Per-shard health: a deterministic circuit breaker plus outcome counters.
+//
+// The breaker is the classic three-state machine, driven entirely by
+// explicit (outcome, now) inputs — it never reads a clock itself, so under a
+// ManualServeClock every transition is a deterministic function of the
+// request sequence and unit tests can pin the exact state after each event:
+//
+//        ≥ failure_threshold failures          cooldown_us elapsed
+//        within window_us                      (checked on next Allow)
+//   CLOSED ───────────────────────▶ OPEN ───────────────────────▶ HALF-OPEN
+//     ▲                              ▲                                │
+//     │  half_open_probes            │   any probe failure            │
+//     │  consecutive successes       └────────────────────────────────┤
+//     └───────────────────────────────────────────────────────────────┘
+//
+// CLOSED admits everything and counts failures over a sliding window (old
+// failures age out, so a slow trickle never trips it). OPEN rejects
+// everything until `cooldown_us` has elapsed since opening; the first
+// Allow() after the cooldown flips to HALF-OPEN. HALF-OPEN admits at most
+// `half_open_probes` in-flight probes: all succeeding closes the breaker,
+// any failure reopens it (and restarts the cooldown).
+//
+// ShardHealth wraps one breaker with a mutex and the per-shard counters the
+// router reports (tries, failures, breaker transitions) — the breaker
+// itself is kept lock-free-of and single-threaded-testable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace sncube {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState s);
+
+struct BreakerOptions {
+  int failure_threshold = 5;          // failures within window_us that open
+  std::uint64_t window_us = 1000000;  // sliding failure-count window
+  std::uint64_t cooldown_us = 250000; // open → half-open delay
+  int half_open_probes = 2;           // consecutive successes that close
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+
+  // True when a request may be sent to the shard at time `now`. An OPEN
+  // breaker whose cooldown has elapsed flips to HALF-OPEN here (the caller's
+  // request becomes a probe); a HALF-OPEN breaker admits at most
+  // half_open_probes outstanding probes.
+  bool AllowRequest(std::uint64_t now_us);
+
+  void OnSuccess(std::uint64_t now_us);
+  void OnFailure(std::uint64_t now_us);
+
+  BreakerState state() const { return state_; }
+
+  // Lifetime transition counts, for metrics and tests.
+  std::uint64_t opened_count() const { return opened_; }
+  std::uint64_t half_opened_count() const { return half_opened_; }
+  std::uint64_t closed_count() const { return closed_; }
+
+ private:
+  void Open(std::uint64_t now_us);
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<std::uint64_t> failure_times_;  // within window, oldest first
+  std::uint64_t opened_at_us_ = 0;
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t half_opened_ = 0;
+  std::uint64_t closed_ = 0;
+};
+
+// One shard's health record as the router sees it: the breaker plus the
+// counters reported per shard. Thread-safe; the breaker state machine runs
+// under the mutex.
+class ShardHealth {
+ public:
+  explicit ShardHealth(BreakerOptions options = {}) : breaker_(options) {}
+
+  bool AllowRequest(std::uint64_t now_us) SNCUBE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return breaker_.AllowRequest(now_us);
+  }
+  void OnSuccess(std::uint64_t now_us) SNCUBE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++tries_;
+    breaker_.OnSuccess(now_us);
+  }
+  void OnFailure(std::uint64_t now_us) SNCUBE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++tries_;
+    ++failures_;
+    breaker_.OnFailure(now_us);
+  }
+
+  struct Snapshot {
+    BreakerState state = BreakerState::kClosed;
+    std::uint64_t tries = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t breaker_opened = 0;
+    std::uint64_t breaker_half_opened = 0;
+    std::uint64_t breaker_closed = 0;
+  };
+  Snapshot Snap() const SNCUBE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    Snapshot s;
+    s.state = breaker_.state();
+    s.tries = tries_;
+    s.failures = failures_;
+    s.breaker_opened = breaker_.opened_count();
+    s.breaker_half_opened = breaker_.half_opened_count();
+    s.breaker_closed = breaker_.closed_count();
+    return s;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CircuitBreaker breaker_ SNCUBE_GUARDED_BY(mu_);
+  std::uint64_t tries_ SNCUBE_GUARDED_BY(mu_) = 0;
+  std::uint64_t failures_ SNCUBE_GUARDED_BY(mu_) = 0;
+};
+
+// Priority-aware load shedder: a sliding window over the last `window`
+// sub-request outcomes, counting the "pressure" ones (queue rejections,
+// per-try timeouts, shard-down fast failures). Level() maps the count to a
+// degradation level the router applies strictly in priority order:
+//
+//   0  healthy   — serve everything
+//   1  strained  — shed cross-shard rollup scatter/gather (expensive, one
+//                  slow slice holds the whole fan-out), keep point lookups
+//   2  overload  — shed rollups and point lookups alike
+//
+// Pure state machine, deterministic under a fixed outcome sequence.
+struct LoadShedderOptions {
+  int window = 128;           // outcomes remembered
+  int shed_scatter_at = 16;   // pressure count → level 1
+  int shed_point_at = 48;     // pressure count → level 2
+};
+
+class LoadShedder {
+ public:
+  using Options = LoadShedderOptions;
+
+  explicit LoadShedder(Options options = Options()) : options_(options) {}
+
+  void Note(bool pressure) SNCUBE_EXCLUDES(mu_);
+  int Level() const SNCUBE_EXCLUDES(mu_);
+
+ private:
+  Options options_;
+  mutable Mutex mu_;
+  std::deque<bool> window_ SNCUBE_GUARDED_BY(mu_);
+  int pressure_ SNCUBE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sncube

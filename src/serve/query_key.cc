@@ -31,10 +31,16 @@ std::string CanonicalQueryKey(const Query& q) {
                 filters.end());
 
   std::string key;
-  key.reserve(4 * (4 + 2 * filters.size()));
+  key.reserve(4 * (6 + 2 * filters.size()));
   AppendU32(key, q.group_by.mask());
   AppendU32(key, static_cast<std::uint32_t>(q.fn));
   AppendU32(key, static_cast<std::uint32_t>(q.top_k));
+  // from_view changes which rows a SHARD-LOCAL answer covers (a slice of
+  // view V and a slice of view W aggregate different row subsets), so it is
+  // part of the key. The presence flag keeps "pinned to the empty view"
+  // (mask 0) distinct from "not pinned".
+  AppendU32(key, q.from_view.has_value() ? 1u : 0u);
+  AppendU32(key, q.from_view.has_value() ? q.from_view->mask() : 0u);
   AppendU32(key, static_cast<std::uint32_t>(filters.size()));
   for (const auto& f : filters) {
     AppendU32(key, static_cast<std::uint32_t>(f.dim));

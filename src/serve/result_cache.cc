@@ -69,6 +69,16 @@ void ResultCache::Put(const std::string& key,
   ++s.inserts;
 }
 
+void ResultCache::Clear() {
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    sp->invalidations += sp->index.size();
+    sp->index.clear();
+    sp->lru.clear();
+    sp->bytes = 0;
+  }
+}
+
 CacheStats ResultCache::Stats() const {
   CacheStats total;
   for (const auto& sp : shards_) {
@@ -77,6 +87,7 @@ CacheStats ResultCache::Stats() const {
     total.misses += sp->misses;
     total.inserts += sp->inserts;
     total.evictions += sp->evictions;
+    total.invalidations += sp->invalidations;
     total.bytes += sp->bytes;
     total.entries += sp->index.size();
   }

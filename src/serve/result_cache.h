@@ -32,6 +32,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by Clear()
   std::uint64_t bytes = 0;     // currently resident
   std::uint64_t entries = 0;   // currently resident
 };
@@ -53,6 +54,13 @@ class ResultCache {
   // same shard until the shard fits its budget slice. Oversized answers are
   // dropped silently.
   void Put(const std::string& key, std::shared_ptr<const QueryAnswer> answer);
+
+  // Drops every resident entry (counted in CacheStats::invalidations) while
+  // leaving the hit/miss history intact. The serving tier calls this when a
+  // cube shard restarts: entries cached against the pre-restart snapshot
+  // would otherwise be served stale. Outstanding shared_ptr references stay
+  // valid; concurrent Get/Put simply miss/refill.
+  void Clear();
 
   // Aggregated counters across shards (consistent per shard, not globally
   // atomic — fine for monitoring).
@@ -77,6 +85,7 @@ class ResultCache {
     std::uint64_t misses SNCUBE_GUARDED_BY(mu) = 0;
     std::uint64_t inserts SNCUBE_GUARDED_BY(mu) = 0;
     std::uint64_t evictions SNCUBE_GUARDED_BY(mu) = 0;
+    std::uint64_t invalidations SNCUBE_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);

@@ -1,0 +1,33 @@
+#include "serve/retry_policy.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sncube {
+
+namespace {
+
+std::uint64_t SteadyNowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+WallServeClock::WallServeClock() : epoch_us_(SteadyNowMicros()) {}
+
+std::uint64_t WallServeClock::NowMicros() const {
+  return SteadyNowMicros() - epoch_us_;
+}
+
+void WallServeClock::SleepMicros(std::uint64_t us) {
+  if (us == 0) return;
+  // The ONE sanctioned sleep in src/serve (sncheck `raw-sleep`): every
+  // backoff, hedge delay, and injected-slowness wait funnels through here,
+  // so replacing the clock replaces all waiting behavior at once.
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace sncube

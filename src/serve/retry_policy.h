@@ -1,0 +1,123 @@
+// Policy-owned waiting for the serving tier: clocks, backoff, retry budget.
+//
+// Everything in the resilient router that involves TIME — per-try latency
+// measurement, capped-exponential retry backoff, breaker cooldowns, hedging
+// thresholds — flows through the ServeClock interface defined here, and
+// every actual wait is executed by RetryPolicy sleep helpers in
+// retry_policy.cc. That concentration is deliberate and machine-enforced:
+// the sncheck `raw-sleep` rule bans sleep_for / usleep / nanosleep in
+// src/serve outside retry_policy.cc, so no component can grow an ad-hoc
+// backoff loop the test clock cannot see. Swap in a ManualServeClock and the
+// whole failure-policy stack — retries, hedges, breaker transitions, shed
+// decisions — becomes a deterministic pure function of (plan, seed),
+// pinnable by unit tests with zero wall-clock dependence.
+//
+// The two policy classes are plain state machines with no threads and no
+// hidden time reads:
+//
+//   BackoffPolicy  capped exponential: delay(attempt) = min(cap, base·2^a).
+//   RetryBudget    token bucket measured as a fraction of request volume —
+//                  each admitted request earns `ratio` tokens (so a steady
+//                  10% retry rate is sustainable at ratio 0.1), each retry
+//                  or hedge spends one. The bucket is capped so an idle
+//                  period cannot bank an unbounded retry storm.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace sncube {
+
+// Microsecond clock the serving failure policy runs on. Implementations
+// must be safe to call from any number of threads.
+class ServeClock {
+ public:
+  virtual ~ServeClock() = default;
+  virtual std::uint64_t NowMicros() const = 0;
+  virtual void SleepMicros(std::uint64_t us) = 0;
+};
+
+// Production clock: steady wall time; SleepMicros really sleeps (the one
+// sanctioned sleep site lives in retry_policy.cc).
+class WallServeClock final : public ServeClock {
+ public:
+  WallServeClock();
+  std::uint64_t NowMicros() const override;
+  void SleepMicros(std::uint64_t us) override;
+
+ private:
+  std::uint64_t epoch_us_;
+};
+
+// Test clock: time is an atomic counter that only SleepMicros (or an
+// explicit Advance) moves. Under this clock a router run is deterministic —
+// injected shard slowness advances virtual time, real compute does not.
+class ManualServeClock final : public ServeClock {
+ public:
+  explicit ManualServeClock(std::uint64_t start_us = 0) : now_us_(start_us) {}
+  std::uint64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+  void SleepMicros(std::uint64_t us) override { Advance(us); }
+  void Advance(std::uint64_t us) {
+    now_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_us_;
+};
+
+// Capped exponential backoff: DelayMicros(0) = base, doubling per attempt,
+// never above cap. Pure function — no jitter, so retry timing is pinnable.
+struct BackoffPolicy {
+  std::uint64_t base_us = 1000;
+  std::uint64_t cap_us = 64000;
+
+  std::uint64_t DelayMicros(int attempt) const {
+    std::uint64_t d = base_us;
+    for (int i = 0; i < attempt && d < cap_us; ++i) d *= 2;
+    return std::min(d, cap_us);
+  }
+};
+
+// Global retry/hedge budget: a token bucket refilled by request volume.
+// OnRequest() credits `ratio` tokens (capped at `burst`); TrySpend() debits
+// one token for a retry or hedge and fails when the budget is exhausted —
+// the router then returns the typed failure instead of amplifying load.
+// The bucket starts FULL: a failure in the first requests after startup
+// deserves a retry as much as any other, and the burst cap still bounds
+// total amplification.
+class RetryBudget {
+ public:
+  RetryBudget(double ratio, double burst)
+      : ratio_(ratio), burst_(burst), tokens_(burst) {}
+
+  void OnRequest() {
+    MutexLock lock(mu_);
+    tokens_ = std::min(burst_, tokens_ + ratio_);
+  }
+
+  bool TrySpend() {
+    MutexLock lock(mu_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const {
+    MutexLock lock(mu_);
+    return tokens_;
+  }
+
+ private:
+  const double ratio_;
+  const double burst_;
+  mutable Mutex mu_;
+  double tokens_ SNCUBE_GUARDED_BY(mu_);
+};
+
+}  // namespace sncube

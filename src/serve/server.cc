@@ -12,11 +12,15 @@ std::string StatsSnapshot::ToJson() const {
   std::ostringstream os;
   os << "{\"accepted\":" << accepted << ",\"rejected\":" << rejected
      << ",\"completed\":" << completed << ",\"failed\":" << failed
-     << ",\"timed_out\":" << timed_out << ",\"queue_depth\":" << queue_depth
+     << ",\"timed_out\":" << timed_out
+     << ",\"deadline_exceeded_in_flight\":" << deadline_exceeded_in_flight
+     << ",\"queue_depth\":" << queue_depth
      << ",\"queue_depth_max\":" << queue_depth_max
      << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"inserts\":" << cache.inserts
-     << ",\"evictions\":" << cache.evictions << ",\"bytes\":" << cache.bytes
+     << ",\"evictions\":" << cache.evictions
+     << ",\"invalidations\":" << cache.invalidations
+     << ",\"bytes\":" << cache.bytes
      << ",\"entries\":" << cache.entries << ",\"hit_rate\":" << hit_rate()
      << "},\"latency_us\":{\"count\":" << latency.count
      << ",\"mean\":" << latency.mean_us() << ",\"p50\":" << latency.p50_us
@@ -123,7 +127,10 @@ void CubeServer::Process(Request& req) {
     return;
   }
 
+  if (options_.pre_execute_hook) options_.pre_execute_hook(req.query);
+
   std::shared_ptr<const QueryAnswer> answer;
+  bool execution_failed = false;
   {
     SNCUBE_TRACE_SPAN("cache-lookup");
     answer = cache_.Get(req.key);
@@ -133,20 +140,29 @@ void CubeServer::Process(Request& req) {
       answer = std::make_shared<const QueryAnswer>(engine_.Execute(req.query));
       cache_.Put(req.key, answer);
     } catch (const SncubeError&) {
-      answer = nullptr;  // e.g. no materialized view covers the query
+      execution_failed = true;  // e.g. no materialized view covers the query
     }
   }
   // Account before the callback runs: a client that wakes on the callback
   // (CubeServer::Execute) must observe its own request in Stats(), and the
   // callback body is client time, not serving latency.
-  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - req.enqueued)
-                      .count();
+  const auto elapsed = std::chrono::steady_clock::now() - req.enqueued;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
   latency_.Record(static_cast<std::uint64_t>(us));
-  const QueryOutcome outcome =
-      answer == nullptr ? QueryOutcome::kFailed : QueryOutcome::kOk;
-  if (answer == nullptr) {
+  QueryOutcome outcome = QueryOutcome::kOk;
+  if (execution_failed) {
+    outcome = QueryOutcome::kFailed;
+    answer = nullptr;
     failed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (options_.deadline.count() > 0 && elapsed > options_.deadline) {
+    // The query finished, but past its deadline: the client already gave up,
+    // so delivering the answer would misreport it as served in budget. The
+    // freshly computed answer stays in the cache — a retry will hit it.
+    outcome = QueryOutcome::kTimedOut;
+    answer = nullptr;
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_in_flight_.fetch_add(1, std::memory_order_relaxed);
   } else {
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -181,6 +197,8 @@ StatsSnapshot CubeServer::Stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.deadline_exceeded_in_flight =
+      deadline_exceeded_in_flight_.load(std::memory_order_relaxed);
   {
     MutexLock lock(mu_);
     s.queue_depth = queue_.size();

@@ -50,17 +50,28 @@ struct ServerOptions {
   std::size_t queue_depth = 256;            // max queued requests (>= 1)
   std::size_t cache_bytes = 64u << 20;      // result cache budget; 0 = off
   int cache_shards = 16;
-  // Per-request deadline, measured from Submit. A request still queued when
-  // its deadline expires is dropped at dequeue: its callback runs with
-  // kTimedOut and a null answer, and no query work is done for it. Zero
-  // disables deadlines. Under overload this sheds exactly the requests whose
-  // answers the client has already given up on.
-  std::chrono::milliseconds deadline{0};
+  // Per-request deadline, measured from Submit (millisecond literals convert
+  // implicitly). A request still queued when its deadline expires is dropped
+  // at dequeue: its callback runs with kTimedOut and a null answer, and no
+  // query work is done for it. A request whose deadline expires WHILE
+  // executing also reports kTimedOut with a null answer — the client stopped
+  // waiting, so handing it the late answer would misreport the request as
+  // served within budget — and is additionally counted in
+  // deadline_exceeded_in_flight. Zero disables deadlines. Under overload this
+  // sheds exactly the requests whose answers the client has already given up
+  // on.
+  std::chrono::microseconds deadline{0};
   // When set, every worker records a wall-clock span trace ("request" →
   // "cache-lookup"/"query-exec"/...; rank = worker index) and deposits it
   // here when it retires at Shutdown. The sink must outlive the server.
   // Null (the default) keeps the hot path trace-free.
   obs::TraceSink* trace = nullptr;
+  // Test-only: runs on the worker thread after the dequeue deadline check
+  // passes and before the cache lookup / query execution. Lets tests hold a
+  // request in flight deterministically (e.g. to pin the
+  // deadline_exceeded_in_flight path without timing races). Null in
+  // production.
+  std::function<void(const Query&)> pre_execute_hook;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -73,7 +84,7 @@ enum class SubmitStatus : std::uint8_t {
 enum class QueryOutcome : std::uint8_t {
   kOk,        // answer is non-null
   kFailed,    // execution threw (e.g. no covering view); answer is null
-  kTimedOut,  // deadline expired before a worker picked it up; answer is null
+  kTimedOut,  // deadline expired (queued or in flight); answer is null
 };
 
 // Point-in-time view of the server's counters, printable as JSON.
@@ -82,7 +93,12 @@ struct StatsSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;        // queries that threw (e.g. no covering view)
-  std::uint64_t timed_out = 0;     // dropped at dequeue: deadline expired
+  std::uint64_t timed_out = 0;     // deadline expired (queued or in flight)
+  // Subset of timed_out: the deadline expired while the query was executing,
+  // not while it sat in the queue. A high ratio here means per-query work —
+  // not queueing — is what blows the budget, so shrinking the queue won't
+  // help; the deadline or the query cost has to change.
+  std::uint64_t deadline_exceeded_in_flight = 0;
   std::uint64_t queue_depth = 0;   // current
   std::uint64_t queue_depth_max = 0;  // configured bound
   CacheStats cache;
@@ -129,6 +145,12 @@ class CubeServer {
   StatsSnapshot Stats() const SNCUBE_EXCLUDES(mu_);
   const ServerOptions& options() const { return options_; }
 
+  // Drops every cached answer (CacheStats::invalidations counts them). The
+  // sharded serving tier calls this when the shard restarts after a fault:
+  // the cache was filled against the pre-restart snapshot. Safe to call
+  // concurrently with serving.
+  void InvalidateCache() { cache_.Clear(); }
+
   // The raw latency histogram, for export into a MetricsRegistry
   // (serve/metrics_bridge.h). Safe to read concurrently with serving.
   const LatencyHistogram& latency_histogram() const { return latency_; }
@@ -166,6 +188,7 @@ class CubeServer {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_in_flight_{0};
 
   // Joined (and cleared) under mu_ by whichever Shutdown caller gets there
   // first; by then live_workers_ == 0, so no worker needs mu_ again and

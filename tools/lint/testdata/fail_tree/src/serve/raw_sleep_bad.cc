@@ -1,0 +1,19 @@
+// Fixture: ad-hoc waiting in the serving tier outside the sanctioned
+// ServeClock implementation. Expect one raw-sleep finding per marker-tagged
+// line below — each of these waits would be invisible to a ManualServeClock
+// and turn deterministic policy tests into wall-clock races.
+#include <chrono>
+#include <thread>
+
+namespace sncube {
+
+void BadBackoffLoop(int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << i));  // EXPECT raw-sleep
+  }
+  std::this_thread::sleep_until(                                    // EXPECT raw-sleep
+      std::chrono::steady_clock::now() + std::chrono::seconds(1));
+  usleep(1000);                                                     // EXPECT raw-sleep
+}
+
+}  // namespace sncube

@@ -1,0 +1,13 @@
+// Fixture: the exempt production-clock path. sleep_for here must NOT be a
+// finding — src/serve/retry_policy.cc is the one sanctioned sleep site (the
+// WallServeClock implementation behind ServeClock::SleepMicros).
+#include <chrono>
+#include <thread>
+
+namespace sncube {
+
+void FixtureWallClockSleep(unsigned long long us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace sncube

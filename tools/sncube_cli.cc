@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "chaos/explorer.h"
+#include "chaos/serve_chaos.h"
 #include "common/timer.h"
 #include "core/parallel_cube.h"
 #include "data/generator.h"
@@ -44,7 +45,9 @@
 #include "seqcube/seq_cube.h"
 #include "seqcube/view_store.h"
 #include "serve/metrics_bridge.h"
+#include "serve/router.h"
 #include "serve/server.h"
+#include "serve/shard_set.h"
 #include "serve/wall_clock.h"
 #include "serve/workload.h"
 
@@ -121,6 +124,19 @@ constexpr const char* kHelpText =
     "  --trace-out FILE   write a Chrome trace of worker request handling\n"
     "                     (wall clock; non-deterministic by nature)\n"
     "  --summary-out FILE write unified metrics registry JSON to FILE\n"
+    "  --shards N         serve the cube sliced over N shard nodes behind\n"
+    "                     the resilient router (default 1 = single server;\n"
+    "                     N >= 2 enables the flags below)\n"
+    "  --fault-plan SPEC  serve-tier fault clauses keyed on request sequence,\n"
+    "                     e.g. \"shardkill:1:100-900;shardslow:0:0:3.0\"\n"
+    "  --per-try-ms MS    router per-try deadline (default 50, 0 disables)\n"
+    "  --retries R        extra tries per request after the first (default 2)\n"
+    "  --hedge-ms MS      hedge successful tries at least this slow against\n"
+    "                     the other replica (default 0 = off)\n"
+    "  --breaker-failures F      failures within the rolling window that trip\n"
+    "                            a shard's circuit breaker (default 5)\n"
+    "  --breaker-cooldown-ms MS  open-state cooldown before half-open probes\n"
+    "                            (default 250)\n"
     "\n"
     "sncube chaos --plans N --seed S\n"
     "  runs N random fault plans per cluster size; each trial builds a cube\n"
@@ -133,7 +149,15 @@ constexpr const char* kHelpText =
     "  --procs P0,P1,...  cluster sizes to exercise (default 2,4)\n"
     "  --rows R           synthetic fact rows per trial (default 600)\n"
     "  --fail-out FILE    append each minimal failing plan spec, one per line\n"
-    "  --verbose          per-trial progress on stderr\n";
+    "  --verbose          per-trial progress on stderr\n"
+    "  --serve            search the SERVING tier instead: random shardkill/\n"
+    "                     shardslow plans against a Router over a ShardSet,\n"
+    "                     invariant \"no wrong answers, ever\" (every response\n"
+    "                     is bit-correct, a typed error, or an explicit shed).\n"
+    "                     Deterministic under a manual clock; failing plans\n"
+    "                     are shrunk like build plans. With --serve:\n"
+    "  --shards N0,N1,... shard counts to exercise (default 2,4)\n"
+    "  --requests N       router requests per trial (default 200)\n";
 
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -459,6 +483,75 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// serve --shards N (N >= 2): slice the cube over N in-process shard nodes
+// and replay the mix through the resilient Router instead of one CubeServer.
+// Runs on the wall clock; any --fault-plan serve clauses key on the router's
+// request sequence numbers, so a plan stays meaningful at any request rate.
+int CmdServeSharded(const Args& args, const CubeResult& cube,
+                    const ServerOptions& server_opts, const QueryMix& mix,
+                    const WorkloadSpec& wspec, std::int64_t total_queries,
+                    int clients, int shards) {
+  ShardSetOptions sopts;
+  sopts.shards = shards;
+  sopts.server = server_opts;
+  FaultPlan plan;
+  if (const auto spec = args.Get("fault-plan")) plan = FaultPlan::Parse(*spec);
+
+  RouterOptions ropts;
+  ropts.per_try_us = 1000ULL *
+      static_cast<std::uint64_t>(
+          std::atoll(args.Get("per-try-ms").value_or("50").c_str()));
+  ropts.max_tries =
+      1 + std::atoi(args.Get("retries").value_or("2").c_str());
+  ropts.hedge_delay_us = 1000ULL *
+      static_cast<std::uint64_t>(
+          std::atoll(args.Get("hedge-ms").value_or("0").c_str()));
+  ropts.breaker.failure_threshold =
+      std::atoi(args.Get("breaker-failures").value_or("5").c_str());
+  ropts.breaker.cooldown_us = 1000ULL *
+      static_cast<std::uint64_t>(
+          std::atoll(args.Get("breaker-cooldown-ms").value_or("250").c_str()));
+  if (ropts.max_tries < 1 || ropts.breaker.failure_threshold < 1) {
+    Usage("--retries must be >= 0 and --breaker-failures >= 1");
+  }
+
+  ShardSet shard_set(cube, sopts, plan);
+  Router router(shard_set, ropts);
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(wspec.seed + 1000003ULL * static_cast<std::uint64_t>(c + 1));
+      const std::int64_t n = total_queries / clients +
+                             (c < total_queries % clients ? 1 : 0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        router.Execute(mix.Sample(rng));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = timer.Seconds();
+
+  if (const auto summary_out = args.Get("summary-out")) {
+    obs::MetricsRegistry registry;
+    AbsorbRouterStats(registry, router);
+    for (int s = 0; s < shards; ++s) {
+      AbsorbServerStats(registry, shard_set.primary_server(s));
+      AbsorbServerStats(registry, shard_set.replica_server(s));
+    }
+    obs::WriteTextFile(*summary_out, registry.ToJson());
+  }
+  const RouterStatsSnapshot stats = router.Stats();
+  shard_set.Shutdown();
+  std::printf("{\"shards\":%d,\"clients\":%d,\"queries\":%lld,"
+              "\"wall_s\":%.4f,\"qps\":%.0f,\"router\":%s}\n",
+              shards, clients, static_cast<long long>(total_queries), wall_s,
+              static_cast<double>(total_queries) / wall_s,
+              stats.ToJson().c_str());
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   if (!args.Has("bench")) {
     Usage("serve currently requires --bench (replay a synthetic query mix)");
@@ -485,6 +578,16 @@ int CmdServe(const Args& args) {
   const int clients = std::atoi(args.Get("clients").value_or("8").c_str());
   if (clients < 1 || total_queries < 1) {
     Usage("--clients and --queries must be >= 1");
+  }
+
+  const int shards = std::atoi(args.Get("shards").value_or("1").c_str());
+  if (shards < 1) Usage("--shards must be >= 1");
+  if (shards >= 2) {
+    return CmdServeSharded(args, cube, opts, mix, wspec, total_queries,
+                           clients, shards);
+  }
+  if (args.Get("fault-plan")) {
+    Usage("serve --fault-plan requires --shards >= 2");
   }
 
   const auto trace_out = args.Get("trace-out");
@@ -532,7 +635,50 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// chaos --serve: the serving-tier search. Shares --plans/--seed/--rows/
+// --fail-out/--verbose with the build search; fail-out lines are
+// "<shards> <spec>" (ChaosFailure::procs carries the shard count), so the
+// nightly corpus handles both tiers uniformly.
+int CmdServeChaos(const Args& args) {
+  chaos::ServeChaosOptions opts;
+  opts.plans = std::atoi(args.Get("plans").value_or("16").c_str());
+  opts.seed = static_cast<std::uint64_t>(
+      std::atoll(args.Get("seed").value_or("1").c_str()));
+  opts.rows = static_cast<std::uint64_t>(
+      std::atoll(args.Get("rows").value_or("600").c_str()));
+  opts.requests = std::atoi(args.Get("requests").value_or("200").c_str());
+  if (const auto shards = args.Get("shards")) {
+    opts.shard_counts.clear();
+    for (const auto& s : SplitCommas(*shards)) {
+      opts.shard_counts.push_back(std::atoi(s.c_str()));
+    }
+  }
+  if (opts.plans < 1 || opts.rows < 1 || opts.requests < 1 ||
+      opts.shard_counts.empty()) {
+    Usage("--plans, --rows and --requests must be >= 1, --shards non-empty");
+  }
+  for (const int s : opts.shard_counts) {
+    if (s < 2) Usage("chaos --serve --shards entries must be >= 2");
+  }
+  opts.verbose = args.Has("verbose");
+
+  const chaos::ChaosReport report = chaos::RunServeChaosSearch(opts);
+  std::printf("%s\n", report.ToJson().c_str());
+  if (const auto fail_out = args.Get("fail-out")) {
+    if (!report.ok()) {
+      std::ofstream os(*fail_out, std::ios::app);
+      if (!os.good()) Usage(("cannot write " + *fail_out).c_str());
+      for (const auto& f : report.failures) {
+        os << f.procs << ' ' << f.plan.ToSpec() << '\n';
+      }
+      std::fprintf(stderr, "minimal failing plans: %s\n", fail_out->c_str());
+    }
+  }
+  return report.ok() ? 0 : 4;
+}
+
 int CmdChaos(const Args& args) {
+  if (args.Has("serve")) return CmdServeChaos(args);
   chaos::ChaosOptions opts;
   opts.plans = std::atoi(args.Get("plans").value_or("16").c_str());
   opts.seed = static_cast<std::uint64_t>(
@@ -579,7 +725,8 @@ int main(int argc, char** argv) {
   }
   try {
     const Args args(argc - 2, argv + 2,
-                    {"local-trees", "min", "max", "json", "bench", "verbose"});
+                    {"local-trees", "min", "max", "json", "bench", "verbose",
+                     "serve"});
     if (cmd == "generate") return CmdGenerate(args);
     if (cmd == "build") return CmdBuild(args);
     if (cmd == "info") return CmdInfo(args);
