@@ -16,6 +16,13 @@
 //   SNCUBE_REQUIRES(mu)     caller must hold mu when calling this function
 //   SNCUBE_EXCLUDES(mu)     caller must NOT hold mu (function locks it)
 //   SNCUBE_ACQUIRE/RELEASE  function enters/exits with the capability
+//   SNCUBE_ACQUIRED_AFTER / SNCUBE_ACQUIRED_BEFORE
+//                           declared lock-ordering hierarchy (see
+//                           serve/lock_order.h): clang checks it under
+//                           -Wthread-safety-beta, and sncheck_ast.py reads
+//                           the same declarations textually to cross-check
+//                           the observed acquired-while-held graph on every
+//                           platform
 //
 // See DESIGN.md §9 for the invariant list and the suppression policy
 // (SNCUBE_NO_THREAD_SAFETY_ANALYSIS requires an inline justification).
@@ -58,6 +65,19 @@
   SNCUBE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
 #define SNCUBE_RELEASE(...) \
   SNCUBE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// On mutex declarations: declared acquisition order. A mutex marked
+// ACQUIRED_AFTER(a) must only ever be acquired while `a` is (optionally)
+// already held — holding it and then taking `a` inverts the hierarchy.
+// ACQUIRED_BEFORE is the mirror image. Two independent checkers consume
+// these: clang's -Wthread-safety-beta (the CI lint build) and the
+// tools/lint/sncheck_ast.py lock-order rule, which parses the declarations
+// textually and fails on any observed acquired-while-held edge that
+// contradicts them — so the hierarchy is enforced even on gcc-only hosts.
+#define SNCUBE_ACQUIRED_AFTER(...) \
+  SNCUBE_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define SNCUBE_ACQUIRED_BEFORE(...) \
+  SNCUBE_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
 
 // On functions: try-lock that acquires the capability when it returns the
 // given success value: SNCUBE_TRY_ACQUIRE(true) or

@@ -148,6 +148,9 @@ void CheckpointManager::SavePartition(Comm& comm, int index,
   SNCUBE_CHECK(enabled());
   SNCUBE_TRACE_SPAN_IDX("ckpt-save", index);
   std::vector<std::uint32_t> masks;
+  // CubeResult::views is an ordered map, so this walk — and with it the
+  // per-view CRC charges and the shard-file write order — is ascending-mask
+  // deterministic on every rank and every run.
   for (const auto& [id, vr] : partition_views.views) {
     const ByteBuffer bytes = SerializeCheckpointView(index, vr);
     // Sealing cost: one CRC pass over the shard, on the simulated clock so
@@ -162,8 +165,9 @@ void CheckpointManager::SavePartition(Comm& comm, int index,
     });
     masks.push_back(id.mask());
   }
-  // Determinism: unordered_map iteration order is unspecified; keep the
-  // manifest canonical so identical builds write identical bytes.
+  // The ordered walk above already produced ascending masks; keep the sort
+  // as a cheap belt-and-braces guarantee that the manifest stays canonical
+  // even if the collection order ever changes.
   std::sort(masks.begin(), masks.end());
 
   // The manifest line is the commit point: written only after every view of

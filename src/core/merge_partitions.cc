@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <unordered_map>
+#include <map>
 
 #include "common/status.h"
 #include "core/key_tuple.h"
@@ -319,7 +319,9 @@ void MergePartitions(Comm& comm, CubeResult& cube,
     auto received = comm.AllToAllv(std::move(send));
 
     // Unpack: per view, the sorted runs received (by source rank order).
-    std::unordered_map<ViewId, std::vector<Relation>> incoming;
+    // Ordered map so any future walk over it is deterministic; it is
+    // keyed per view (small) and looked up per plan, not per row.
+    std::map<ViewId, std::vector<Relation>> incoming;
     for (int src = 0; src < p; ++src) {
       WireReader reader(received[src]);
       while (!reader.AtEnd()) {

@@ -1,5 +1,6 @@
 #include "lattice/estimate.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/status.h"
@@ -34,9 +35,15 @@ FmViewEstimator::FmViewEstimator(const Relation& rel,
                                  const std::vector<ViewId>& views,
                                  int bitmaps) {
   SNCUBE_CHECK(static_cast<int>(rel_dims.size()) == rel.width());
-  // Map global dimension index → relation column.
-  std::unordered_map<int, int> col_of_dim;
-  for (int c = 0; c < rel.width(); ++c) col_of_dim[rel_dims[c]] = c;
+  // Map global dimension index → relation column. Dimension indices are
+  // small and dense, so a direct-indexed vector beats a hash table and is
+  // deterministic by construction (-1 = dimension absent).
+  int max_dim = -1;
+  for (int d : rel_dims) max_dim = std::max(max_dim, d);
+  std::vector<int> col_of_dim(static_cast<std::size_t>(max_dim + 1), -1);
+  for (int c = 0; c < rel.width(); ++c) {
+    col_of_dim[static_cast<std::size_t>(rel_dims[c])] = c;
+  }
 
   struct ViewCols {
     ViewId id;
@@ -47,10 +54,10 @@ FmViewEstimator::FmViewEstimator(const Relation& rel,
   for (ViewId v : views) {
     ViewCols plan{v, {}};
     for (int dim : v.DimList()) {
-      const auto it = col_of_dim.find(dim);
-      SNCUBE_CHECK_MSG(it != col_of_dim.end(),
+      SNCUBE_CHECK_MSG(dim >= 0 && dim <= max_dim &&
+                           col_of_dim[static_cast<std::size_t>(dim)] >= 0,
                        "view uses a dimension absent from the relation");
-      plan.cols.push_back(it->second);
+      plan.cols.push_back(col_of_dim[static_cast<std::size_t>(dim)]);
     }
     plans.push_back(std::move(plan));
     sketches_.emplace(v, FmSketch(bitmaps));

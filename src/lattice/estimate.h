@@ -13,8 +13,8 @@
 //    pass over the data per batch of views.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "lattice/fm_sketch.h"
@@ -55,7 +55,9 @@ class FmViewEstimator final : public ViewSizeEstimator {
   double EstimateRows(ViewId v) const override;
 
  private:
-  std::unordered_map<ViewId, FmSketch> sketches_;
+  // Ordered so the (currently lookup-only) table can never grow a
+  // nondeterministic walk; the view count is small and off the hot path.
+  std::map<ViewId, FmSketch> sketches_;
 };
 
 }  // namespace sncube

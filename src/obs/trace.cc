@@ -42,6 +42,7 @@ std::int32_t TraceRecorder::OpenSpan(const char* name, std::int32_t index) {
   rec.index = index;
   rec.parent = open_.empty() ? -1 : open_.back();
   rec.depth = static_cast<std::int32_t>(open_.size());
+  // sncheck:allow(clock-domain): clock_ is the injected SimClockSource; only serve-side recorders bind it to WallClockSource (PR 4 contract), build-side recorders stay on the BSP clock
   rec.begin_s = clock_->TraceNowSeconds();
   rec.end_s = rec.begin_s;  // until closed
   rec.begin_superstep = clock_->TraceSuperstep();
@@ -58,6 +59,7 @@ void TraceRecorder::CloseSpan(std::int32_t handle) {
                    "trace spans must close LIFO");
   open_.pop_back();
   SpanRecord& rec = spans_[static_cast<std::size_t>(handle)];
+  // sncheck:allow(clock-domain): same injected-clock contract as OpenSpan — wall time only ever flows in via the serve tier's WallClockSource
   rec.end_s = clock_->TraceNowSeconds();
   rec.end_superstep = clock_->TraceSuperstep();
 }
@@ -70,6 +72,7 @@ void TraceRecorder::RecordComm(std::uint64_t bytes_out,
   // the fault injector and abort reports use.
   const std::uint64_t step = clock_->TraceSuperstep();
   rec.superstep = step == 0 ? 0 : step - 1;
+  // sncheck:allow(clock-domain): injected clock; sim-side comm records are stamped by the BSP clock, serve-side by design use wall time
   rec.time_s = clock_->TraceNowSeconds();
   rec.bytes_out = bytes_out;
   rec.bytes_in = bytes_in;
@@ -80,6 +83,7 @@ RankTrace TraceRecorder::Finish() {
   while (!open_.empty()) CloseSpan(open_.back());
   RankTrace trace;
   trace.rank = rank_;
+  // sncheck:allow(clock-domain): injected clock, same contract as the span stamps above
   trace.end_time_s = clock_->TraceNowSeconds();
   trace.spans = std::move(spans_);
   trace.comms = std::move(comms_);

@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
 
 #include "common/status.h"
 #include "schedule/pipesort.h"
 
 namespace sncube {
 namespace {
+
+// Deterministic membership set over the selected views: a sorted vector
+// with binary search instead of an unordered_set, so there is no container
+// here whose walk order could ever leak into the schedule.
+std::vector<ViewId> SortedSet(const std::vector<ViewId>& views) {
+  std::vector<ViewId> out(views);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SetContains(const std::vector<ViewId>& sorted_set, ViewId v) {
+  return std::binary_search(sorted_set.begin(), sorted_set.end(), v);
+}
 
 // The partition's complete sub-lattice: every subset of `root` keeping the
 // root's leading dimension, plus the empty view when it is selected (it only
@@ -39,7 +51,7 @@ ScheduleTree PrunedPipesortTree(const std::vector<ViewId>& selected,
                                 ViewId root,
                                 const std::vector<int>& root_order,
                                 const ViewSizeEstimator& estimator) {
-  std::unordered_set<ViewId> wanted(selected.begin(), selected.end());
+  const std::vector<ViewId> wanted = SortedSet(selected);
   if (root.empty()) {
     // Degenerate partition holding only the "all" view.
     ScheduleTree t;
@@ -55,7 +67,7 @@ ScheduleTree PrunedPipesortTree(const std::vector<ViewId>& selected,
     SNCUBE_CHECK_MSG(v.empty() || v.Contains(lead),
                      "kPrunedPipesort needs partition-shaped selections");
   }
-  const bool include_empty = wanted.contains(ViewId::Empty());
+  const bool include_empty = SetContains(wanted, ViewId::Empty());
   const ScheduleTree full = BuildPipesortTree(
       PartitionUniverse(root, include_empty), root, root_order, estimator);
 
@@ -63,7 +75,7 @@ ScheduleTree PrunedPipesortTree(const std::vector<ViewId>& selected,
   std::vector<bool> keep(static_cast<std::size_t>(full.size()), false);
   keep[ScheduleTree::kRootIndex] = true;
   for (int i = 0; i < full.size(); ++i) {
-    if (!wanted.contains(full.node(i).view)) continue;
+    if (!SetContains(wanted, full.node(i).view)) continue;
     for (int a = i; a >= 0; a = full.node(a).parent) {
       if (keep[a]) break;
       keep[a] = true;
@@ -74,12 +86,12 @@ ScheduleTree PrunedPipesortTree(const std::vector<ViewId>& selected,
   ScheduleTree pruned;
   std::vector<int> remap(static_cast<std::size_t>(full.size()), -1);
   remap[0] = pruned.AddRoot(root, root_order, full.root().est_rows,
-                            wanted.contains(root));
+                            SetContains(wanted, root));
   for (int i = 1; i < full.size(); ++i) {
     if (!keep[i]) continue;
     const ScheduleNode& n = full.node(i);
     remap[i] = pruned.AddChild(remap[n.parent], n.view, n.edge, n.est_rows,
-                               wanted.contains(n.view));
+                               SetContains(wanted, n.view));
   }
   pruned.ResolveOrders();
   return pruned;
@@ -89,10 +101,10 @@ ScheduleTree GreedyLatticeTree(const std::vector<ViewId>& selected,
                                ViewId root,
                                const std::vector<int>& root_order,
                                const ViewSizeEstimator& estimator) {
-  std::unordered_set<ViewId> wanted(selected.begin(), selected.end());
+  const std::vector<ViewId> wanted = SortedSet(selected);
   ScheduleTree tree;
   tree.AddRoot(root, root_order, estimator.EstimateRows(root),
-               wanted.contains(root));
+               SetContains(wanted, root));
 
   std::vector<ViewId> todo;
   for (ViewId v : selected) {

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "lattice/view_id.h"
@@ -30,7 +30,13 @@ struct ViewResult {
 };
 
 struct CubeResult {
-  std::unordered_map<ViewId, ViewResult> views;
+  // Ordered map on purpose: every `for (auto& [id, vr] : views)` walk —
+  // checkpointing, merge planning, serialization — visits views in
+  // ascending mask order on every rank and every run, so iteration order
+  // can never leak into cube bytes or simulated costs (the sncheck_ast
+  // `unordered-iter` rule holds this line). View counts are ≤ 2^d, d ≤ 16;
+  // per-view (not per-row) lookups make the O(log n) irrelevant.
+  std::map<ViewId, ViewResult> views;
 
   std::uint64_t TotalRows(bool selected_only = true) const;
   std::uint64_t TotalBytes(bool selected_only = true) const;

@@ -30,6 +30,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "serve/lock_order.h"
 
 namespace sncube {
 
@@ -122,7 +123,11 @@ class ShardHealth {
   }
 
  private:
-  mutable Mutex mu_;
+  // Health layer of the serve lock hierarchy (serve/lock_order.h): may be
+  // taken while a router-policy lock is held, never the other way around,
+  // and never across a call into the server/cache layers.
+  mutable Mutex mu_ SNCUBE_ACQUIRED_AFTER(kHealthLayer)
+      SNCUBE_ACQUIRED_BEFORE(kServerLayer);
   CircuitBreaker breaker_ SNCUBE_GUARDED_BY(mu_);
   std::uint64_t tries_ SNCUBE_GUARDED_BY(mu_) = 0;
   std::uint64_t failures_ SNCUBE_GUARDED_BY(mu_) = 0;
@@ -156,7 +161,10 @@ class LoadShedder {
 
  private:
   Options options_;
-  mutable Mutex mu_;
+  // Router-policy layer, like RetryBudget::mu_: the shed decision happens
+  // before any health/server/cache lock is in play.
+  mutable Mutex mu_ SNCUBE_ACQUIRED_AFTER(kRouterLayer)
+      SNCUBE_ACQUIRED_BEFORE(kHealthLayer);
   std::deque<bool> window_ SNCUBE_GUARDED_BY(mu_);
   int pressure_ SNCUBE_GUARDED_BY(mu_) = 0;
 };

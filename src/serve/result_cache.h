@@ -24,6 +24,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "query/engine.h"
+#include "serve/lock_order.h"
 
 namespace sncube {
 
@@ -76,7 +77,11 @@ class ResultCache {
     std::size_t bytes = 0;
   };
   struct Shard {
-    mutable Mutex mu;
+    // Cache layer — the bottom of the serve lock hierarchy
+    // (serve/lock_order.h): a shard lock is the innermost lock any serve
+    // path may hold, and the per-shard split means two shard locks are
+    // never nested either (instance-blind ordering keeps that degenerate).
+    mutable Mutex mu SNCUBE_ACQUIRED_AFTER(kCacheLayer);
     std::list<Entry> lru SNCUBE_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<std::string, std::list<Entry>::iterator> index
         SNCUBE_GUARDED_BY(mu);

@@ -29,6 +29,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "serve/lock_order.h"
 
 namespace sncube {
 
@@ -116,7 +117,11 @@ class RetryBudget {
  private:
   const double ratio_;
   const double burst_;
-  mutable Mutex mu_;
+  // Router-policy layer of the serve lock hierarchy (serve/lock_order.h):
+  // held only for the token-bucket arithmetic, never across a call into the
+  // health/server/cache layers.
+  mutable Mutex mu_ SNCUBE_ACQUIRED_AFTER(kRouterLayer)
+      SNCUBE_ACQUIRED_BEFORE(kHealthLayer);
   double tokens_ SNCUBE_GUARDED_BY(mu_);
 };
 

@@ -185,6 +185,7 @@ void CubeServer::Shutdown() {
   // epilogues. Concurrent callers serialize here; the loser joins an empty
   // vector.
   for (auto& w : workers_) {
+    // sncheck:allow(blocking-under-lock): join runs only after live_workers_ == 0 — every worker is past its last touch of server state, so this waits out thread epilogues, never worker progress
     if (w.joinable()) w.join();
   }
   workers_.clear();

@@ -40,6 +40,7 @@
 #include "obs/trace.h"
 #include "query/engine.h"
 #include "serve/latency_histogram.h"
+#include "serve/lock_order.h"
 #include "serve/result_cache.h"
 #include "serve/wall_clock.h"
 
@@ -174,7 +175,12 @@ class CubeServer {
   // read when options_.trace is set).
   WallClockSource trace_clock_;
 
-  mutable Mutex mu_;
+  // Server layer of the serve lock hierarchy (serve/lock_order.h): guards
+  // queue admission and shutdown state; cache-shard locks may be taken below
+  // it (workers hold nothing while calling into the cache today), never
+  // above it.
+  mutable Mutex mu_ SNCUBE_ACQUIRED_AFTER(kServerLayer)
+      SNCUBE_ACQUIRED_BEFORE(kCacheLayer);
   CondVar queue_cv_;    // signaled on enqueue and on shutdown
   CondVar drained_cv_;  // signaled when the last live worker exits
   std::deque<Request> queue_ SNCUBE_GUARDED_BY(mu_);

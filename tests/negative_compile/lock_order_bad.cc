@@ -1,0 +1,16 @@
+// Negative fixture for the lock-order negative-compile test: acquires the
+// serve-layer anchors (serve/lock_order.h) INVERTED — health while already
+// intending to take router. kHealthLayer is declared
+// SNCUBE_ACQUIRED_AFTER(kRouterLayer), so taking kRouterLayer while holding
+// kHealthLayer contradicts the hierarchy and MUST fail to compile under
+// `-Wthread-safety -Wthread-safety-beta -Werror` — the test asserts exactly
+// that, proving the ordering declarations are enforced, not decorative.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "serve/lock_order.h"
+
+int main() {
+  sncube::MutexLock health(sncube::kHealthLayer);
+  sncube::MutexLock router(sncube::kRouterLayer);  // inverted: must not compile
+  return 0;
+}

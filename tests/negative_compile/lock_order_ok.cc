@@ -1,0 +1,14 @@
+// Positive control for the lock-order negative-compile test: acquires two
+// serve-layer anchor mutexes (serve/lock_order.h) in their DECLARED order —
+// router before health. Must compile cleanly under
+// `-Wthread-safety -Wthread-safety-beta -Werror`; if it does not, the
+// SNCUBE_ACQUIRED_AFTER macros themselves are broken.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "serve/lock_order.h"
+
+int main() {
+  sncube::MutexLock router(sncube::kRouterLayer);
+  sncube::MutexLock health(sncube::kHealthLayer);
+  return 0;
+}

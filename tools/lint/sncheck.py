@@ -174,6 +174,13 @@ RULES = [
 
 RULE_IDS = {rule["id"] for rule in RULES}
 
+# Rules owned by the AST analyzer (sncheck_ast.py). They share this file's
+# suppression grammar, so their ids must be recognized here or every
+# `// sncheck:allow(<ast-rule>)` comment would be flagged bad-suppression.
+AST_RULE_IDS = {"lock-order", "unordered-iter", "clock-domain",
+                "blocking-under-lock"}
+RULE_IDS |= AST_RULE_IDS
+
 ALLOW_RE = re.compile(r"//\s*sncheck:allow\(([^)]*)\)(:?)\s*(.*)")
 
 SOURCE_EXTS = (".h", ".cc")

@@ -1,0 +1,29 @@
+// unordered-iter fixtures: every way an unordered container can leak
+// iteration order into a deterministic path — member declaration, member
+// traversal, local declaration, iterator-based traversal via .begin().
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct ViewTable {
+  std::unordered_map<int, double> cells;  // EXPECT unordered-iter
+};
+
+double SumCells(const ViewTable& t) {
+  double sum = 0;
+  for (const auto& kv : t.cells) {  // EXPECT unordered-iter
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int CountDistinct(const std::vector<int>& xs) {
+  std::unordered_set<int> seen(xs.begin(), xs.end());  // EXPECT unordered-iter
+  int n = 0;
+  auto it = seen.begin();  // EXPECT unordered-iter
+  while (it != seen.end()) {
+    ++n;
+    ++it;
+  }
+  return n;
+}

@@ -1,0 +1,7 @@
+// First edge of the cross-TU three-lock cycle: a -> b. Harmless alone.
+#include "serve/order_locks.h"
+
+void StageOneBad() {
+  MutexLock a(g_stage_a);
+  MutexLock b(g_stage_b);  // EXPECT lock-order
+}

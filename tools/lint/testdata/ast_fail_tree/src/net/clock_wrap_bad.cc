@@ -1,0 +1,9 @@
+// clock-domain fixture, wrapper arm: sim-clock code (src/net) reaching the
+// host clock THROUGH a helper defined in src/serve. A grep of this file
+// shows no clock read at all — only whole-program call resolution flags it.
+#include "serve/wall_util.h"
+
+double StampPacket() {
+  const double t = WallSecondsForSpans();  // EXPECT clock-domain
+  return t;
+}

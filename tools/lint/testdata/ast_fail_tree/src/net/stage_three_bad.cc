@@ -1,0 +1,8 @@
+// Closing edge of the cross-TU three-lock cycle: c -> a. With the other two
+// TUs this completes g_stage_a -> g_stage_b -> g_stage_c -> g_stage_a.
+#include "serve/order_locks.h"
+
+void StageThreeBad() {
+  MutexLock c(g_stage_c);
+  MutexLock a(g_stage_a);  // EXPECT lock-order
+}

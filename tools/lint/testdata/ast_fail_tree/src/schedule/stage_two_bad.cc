@@ -1,0 +1,7 @@
+// Second edge of the cross-TU three-lock cycle: b -> c. Harmless alone.
+#include "serve/order_locks.h"
+
+void StageTwoBad() {
+  MutexLock b(g_stage_b);
+  MutexLock c(g_stage_c);  // EXPECT lock-order
+}

@@ -1,0 +1,24 @@
+// lock-order fixture, two-lock cycle: Forward() nests a_ -> b_ directly;
+// Reverse() nests b_ -> a_ through a private helper, so one of the two
+// edges exists only interprocedurally. Together they form the classic AB/BA
+// deadlock; the analyzer must report BOTH edge sites of the cycle.
+#include "common/stub_mutex.h"
+
+class PairLocks {
+ public:
+  void Forward() {
+    MutexLock la(a_);
+    MutexLock lb(b_);  // EXPECT lock-order
+  }
+
+  void Reverse() {
+    MutexLock lb(b_);
+    TakeA();  // EXPECT lock-order
+  }
+
+ private:
+  void TakeA() { MutexLock la(a_); }
+
+  Mutex a_;
+  Mutex b_;
+};

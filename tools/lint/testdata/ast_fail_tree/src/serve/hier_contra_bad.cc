@@ -1,0 +1,7 @@
+// lock-order fixture, contradictory-declaration arm: d_b is declared both
+// AFTER and BEFORE d_a, so the hierarchy is unsatisfiable before any code
+// runs. The finding anchors at the declaration itself.
+#include "common/stub_mutex.h"
+
+inline Mutex d_a;
+inline Mutex d_b SNCUBE_ACQUIRED_AFTER(d_a) SNCUBE_ACQUIRED_BEFORE(d_a);  // EXPECT lock-order

@@ -1,0 +1,13 @@
+// lock-order fixture, declared-hierarchy arm: h_inner is declared
+// ACQUIRED_AFTER(h_outer), and Inverted() takes h_outer while already
+// holding h_inner. No second thread is needed — the single observed edge
+// contradicts the declaration and must be a finding on its own.
+#include "common/stub_mutex.h"
+
+inline Mutex h_outer;
+inline Mutex h_inner SNCUBE_ACQUIRED_AFTER(h_outer);
+
+void Inverted() {
+  MutexLock li(h_inner);
+  MutexLock lo(h_outer);  // EXPECT lock-order
+}

@@ -1,0 +1,13 @@
+// Three global stage locks shared by the three-TU cycle fixtures
+// (src/exec/stage_one_bad.cc, src/schedule/stage_two_bad.cc,
+// src/net/stage_three_bad.cc). Each TU nests one pair in an order that is
+// locally harmless; only the WHOLE-PROGRAM graph closes the
+// a -> b -> c -> a cycle, which is exactly what a per-file checker cannot
+// see. No expectation marker here — findings anchor at acquisition sites.
+#pragma once
+
+#include "common/stub_mutex.h"
+
+inline Mutex g_stage_a;
+inline Mutex g_stage_b;
+inline Mutex g_stage_c;

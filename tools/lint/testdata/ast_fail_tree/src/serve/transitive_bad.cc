@@ -1,0 +1,19 @@
+// blocking-under-lock fixture, transitive arm: Save() holds the lock and
+// calls a helper that looks innocent at the call site — the fwrite is one
+// hop away, so only interprocedural may-block propagation catches it.
+#include <cstdio>
+
+#include "common/stub_mutex.h"
+
+class SpillStore {
+ public:
+  void Save() {
+    MutexLock lock(mu_);
+    WriteAll();  // EXPECT blocking-under-lock
+  }
+
+ private:
+  void WriteAll() { std::fwrite(nullptr, 0, 0, nullptr); }
+
+  Mutex mu_;
+};

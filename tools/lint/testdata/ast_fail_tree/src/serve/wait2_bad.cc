@@ -1,0 +1,19 @@
+// blocking-under-lock fixture, condition-wait arm: Wait(queue_mu_) releases
+// only queue_mu_ — pool_mu_ stays held across the whole wait, starving every
+// other thread that needs it. One lock held is the normal wait protocol and
+// stays clean (see the pass tree); two is the bug.
+#include "common/stub_mutex.h"
+
+class TwoPhase {
+ public:
+  void Drain() {
+    MutexLock outer(pool_mu_);
+    MutexLock inner(queue_mu_);
+    cv_.Wait(queue_mu_);  // EXPECT blocking-under-lock
+  }
+
+ private:
+  Mutex pool_mu_;
+  Mutex queue_mu_;
+  CondVar cv_;
+};

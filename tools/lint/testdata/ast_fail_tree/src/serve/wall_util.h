@@ -1,0 +1,14 @@
+// The wrapper that makes the clock-domain rule AST-grounded: the host-clock
+// read lives HERE, in src/serve (outside the sim-clock paths), so no
+// text-level rule that greps src/obs can see it. Only call resolution ties
+// the caller in src/net to this read. This file carries no expectation
+// marker — serve code may read the wall clock.
+#pragma once
+
+#include <chrono>
+
+inline double WallSecondsForSpans() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

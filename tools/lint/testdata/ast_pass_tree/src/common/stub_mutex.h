@@ -1,0 +1,34 @@
+// Stand-ins for src/common/{mutex,thread_annotations}.h, just enough for
+// the fixture trees: the internal frontend reads them textually (ACQ_RE
+// keys off the MutexLock spelling, HIER_ATTR_RE off the SNCUBE_ACQUIRED_*
+// macros) and the cindex frontend in CI actually compiles them. The macros
+// expand to nothing — the analyzer parses the annotation TEXT, it never
+// needs clang's attribute semantics.
+#pragma once
+
+#define SNCUBE_ACQUIRED_AFTER(...)
+#define SNCUBE_ACQUIRED_BEFORE(...)
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  void lock() {}
+  void unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex&) {}
+  void NotifyAll() {}
+};

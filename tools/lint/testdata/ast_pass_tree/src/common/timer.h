@@ -1,0 +1,12 @@
+// Mirror of the repo's src/common/timer.h role: the one sanctioned
+// host-clock wrapper, exempt from the clock-domain rule (CLOCK_EXEMPT).
+// Sim-clock code calling through this file must stay clean.
+#pragma once
+
+#include <chrono>
+
+inline double HostSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,29 @@
+// Clean deterministic-path file: ordered containers everywhere an iteration
+// happens, plus one lookup-only unordered table whose declaration carries a
+// justified suppression — the pass tree pins that the allow grammar works.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Catalog {
+  std::map<int, std::string> names;
+  // sncheck:allow(unordered-iter): lookup-only interning table, never iterated; inserts and finds only
+  std::unordered_map<std::string, int> ids;
+};
+
+int TotalLen(const Catalog& c) {
+  int n = 0;
+  for (const auto& kv : c.names) {
+    n += static_cast<int>(kv.second.size());
+  }
+  return n;
+}
+
+int IdOf(Catalog& c, const std::string& name) {
+  const auto it = c.ids.find(name);
+  if (it != c.ids.end()) return it->second;
+  const int id = static_cast<int>(c.ids.size());
+  c.ids.emplace(name, id);
+  return id;
+}

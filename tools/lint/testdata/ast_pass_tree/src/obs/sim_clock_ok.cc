@@ -1,0 +1,19 @@
+// Clean sim-clock file: time comes from an injected clock object, and the
+// only host-clock contact goes through the exempt common/timer.h wrapper.
+#include "common/timer.h"
+
+class SimClock {
+ public:
+  double NowSeconds() const { return now_s_; }
+  void Advance(double dt) { now_s_ += dt; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+double StampSpan(const SimClock& clock) { return clock.NowSeconds(); }
+
+double EpochAnchor() {
+  const double t = HostSeconds();
+  return t;
+}

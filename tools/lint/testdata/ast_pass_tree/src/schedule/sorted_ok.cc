@@ -1,0 +1,24 @@
+// Clean membership-set idiom for deterministic paths: sorted vector with
+// binary_search instead of an unordered_set (mirrors src/schedule/partial.cc).
+#include <algorithm>
+#include <vector>
+
+std::vector<int> SortedSet(const std::vector<int>& xs) {
+  std::vector<int> out(xs);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SetContains(const std::vector<int>& sorted_set, int x) {
+  return std::binary_search(sorted_set.begin(), sorted_set.end(), x);
+}
+
+int CountMembers(const std::vector<int>& universe,
+                 const std::vector<int>& chosen) {
+  const std::vector<int> wanted = SortedSet(chosen);
+  int n = 0;
+  for (int x : universe) {
+    if (SetContains(wanted, x)) ++n;
+  }
+  return n;
+}

@@ -1,0 +1,35 @@
+// Clean serve-tier locking: nesting that FOLLOWS the declared hierarchy, a
+// single-lock condition wait (the normal protocol), and blocking work done
+// strictly after the lock scope closes.
+#include <unistd.h>
+
+#include "common/stub_mutex.h"
+
+inline Mutex g_route_layer;
+inline Mutex g_cache_layer SNCUBE_ACQUIRED_AFTER(g_route_layer);
+
+class PassRouter {
+ public:
+  void Lookup() {
+    MutexLock route(g_route_layer);
+    MutexLock cache(g_cache_layer);
+  }
+
+  void WaitIdle() {
+    MutexLock lock(mu_);
+    while (busy_) cv_.Wait(mu_);
+  }
+
+  void FlushUnlocked() {
+    {
+      MutexLock lock(mu_);
+      busy_ = false;
+    }
+    fsync(0);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool busy_ = true;
+};
