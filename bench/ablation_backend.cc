@@ -1,0 +1,153 @@
+// Backend ablation: sort-based vs hash-based view computation across the
+// fig08 skew sweep and the fig09 cardinality mixes.
+//
+// For every data point the same build runs three times — --backend sort,
+// hash, and auto — on identical data (the cube bytes are identical by the
+// §13 contract; only simulated time moves). The winner column records
+// which forced engine was cheaper, showing WHERE each backend wins: sort
+// on low-reduction shapes (unskewed, high-cardinality edges, where the
+// hash pass is overhead on top of a sort of nearly as many groups), hash
+// once skew or dense mixes collapse view cardinalities (fold n rows, sort
+// only g ≪ n groups). Auto should track the per-point winner closely by
+// mixing engines per edge.
+//
+// Also emits BENCH_backend.json. The sim costs are pure functions of
+// (scale, sweep, seed); the committed bench/baselines/BENCH_backend.json
+// copy is structure-gated by tools/bench_compare.py in CI, so a code
+// change that flips any winner string fails the gate and must recommit the
+// baseline with justification.
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "lattice/lattice.h"
+
+using namespace sncube;
+using namespace sncube::bench;
+
+namespace {
+
+struct Point {
+  std::string label;
+  double sort_s = 0;
+  double hash_s = 0;
+  double auto_s = 0;
+  const char* winner = "sort";
+};
+
+Point RunPoint(const std::string& label, const DatasetSpec& spec, int p,
+               const std::vector<ViewId>& selected) {
+  Point pt;
+  pt.label = label;
+  ParallelCubeOptions opts;
+  opts.backend = BackendMode::kSort;
+  pt.sort_s = RunParallel(spec, p, selected, opts).sim_seconds;
+  opts.backend = BackendMode::kHash;
+  pt.hash_s = RunParallel(spec, p, selected, opts).sim_seconds;
+  opts.backend = BackendMode::kAuto;
+  pt.auto_s = RunParallel(spec, p, selected, opts).sim_seconds;
+  pt.winner = pt.sort_s <= pt.hash_s ? "sort" : "hash";
+  return pt;
+}
+
+void PrintSweep(const char* title, const std::vector<Point>& points) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %12s %12s %12s %8s\n", "point", "sort_s", "hash_s",
+              "auto_s", "winner");
+  for (const auto& pt : points) {
+    std::printf("%-14s %12.3f %12.3f %12.3f %8s\n", pt.label.c_str(),
+                pt.sort_s, pt.hash_s, pt.auto_s, pt.winner);
+  }
+}
+
+void EmitPoints(std::ofstream& os, const std::vector<Point>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"label\":\"%s\",\"sort_s\":%.6f,\"hash_s\":%.6f,"
+                  "\"auto_s\":%.6f,\"winner\":\"%s\"}",
+                  i == 0 ? "" : ",", points[i].label.c_str(), points[i].sort_s,
+                  points[i].hash_s, points[i].auto_s, points[i].winner);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // This bench sweeps backends explicitly; the bench_util env knob must not
+  // override the per-run choice.
+  unsetenv("SNCUBE_BACKEND");
+
+  const std::int64_t n = BenchRows(20000, 1000000);
+  const int p =
+      std::min<int>(4, static_cast<int>(EnvInt("SNCUBE_MAXPROC", 16)));
+  const auto selected = AllViews(8);
+
+  // fig08 shape: paper default mix (cards 256..6), uniform Zipf alpha per
+  // dimension. Low alpha = little reduction per edge → sort's regime.
+  std::vector<Point> skew;
+  for (double alpha : {0.0, 1.0, 2.0, 3.0}) {
+    DatasetSpec spec = DatasetSpec::PaperDefault(n);
+    spec.alphas.assign(8, alpha);
+    spec.seed = 81;
+    char label[32];
+    std::snprintf(label, sizeof label, "alpha=%.1f", alpha);
+    skew.push_back(RunPoint(label, spec, p, selected));
+  }
+
+  // fig09 cardinality mixes. The dense mix (C) collapses every deep edge's
+  // cardinality → hash's regime.
+  struct Mix {
+    const char* name;
+    std::vector<std::uint32_t> cards;
+    std::vector<double> alphas;
+  };
+  const std::vector<Mix> mixes{
+      {"(A) all 256", std::vector<std::uint32_t>(8, 256), {}},
+      {"(B) 256..6", {256, 128, 64, 32, 16, 8, 6, 6}, {}},
+      {"(C) all 16", std::vector<std::uint32_t>(8, 16), {}},
+      {"(D) B,a0=3", {256, 128, 64, 32, 16, 8, 6, 6},
+       {3.0, 0, 0, 0, 0, 0, 0, 0}},
+  };
+  std::vector<Point> cardinality;
+  for (const auto& mix : mixes) {
+    DatasetSpec spec;
+    spec.rows = n;
+    spec.cardinalities = mix.cards;
+    spec.alphas = mix.alphas;
+    spec.seed = 91;
+    cardinality.push_back(RunPoint(mix.name, spec, p, selected));
+  }
+
+  std::printf("# Backend ablation: n=%lld, d=8, p=%d (simulated seconds)\n",
+              static_cast<long long>(n), p);
+  PrintSweep("skew sweep (fig08 shape, cards 256..6)", skew);
+  PrintSweep("cardinality mixes (fig09 shape)", cardinality);
+
+  int hash_wins = 0, sort_wins = 0;
+  for (const auto& pt : skew) (pt.winner[0] == 'h' ? hash_wins : sort_wins)++;
+  for (const auto& pt : cardinality) {
+    (pt.winner[0] == 'h' ? hash_wins : sort_wins)++;
+  }
+  std::printf("\nwinners: sort=%d hash=%d (crossover regimes present: %s)\n",
+              sort_wins, hash_wins,
+              sort_wins > 0 && hash_wins > 0 ? "yes" : "NO");
+
+  std::ofstream os("BENCH_backend.json");
+  char head[128];
+  std::snprintf(head, sizeof head,
+                "{\"bench\":\"ablation_backend\",\"rows\":%lld,\"p\":%d,",
+                static_cast<long long>(n), p);
+  os << head << "\"skew\":[";
+  EmitPoints(os, skew);
+  os << "],\"cardinality\":[";
+  EmitPoints(os, cardinality);
+  os << "]}\n";
+  std::printf("wrote BENCH_backend.json\n");
+  return 0;
+}

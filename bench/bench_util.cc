@@ -34,6 +34,13 @@ RunResult RunParallel(const DatasetSpec& spec, int p,
   Cluster cluster(p, cost);
   cluster.set_threads_per_rank(
       static_cast<int>(EnvInt("SNCUBE_THREADS_PER_RANK", 1)));
+  // SNCUBE_BACKEND reruns any fig bench on the other engine without a
+  // recompile (EXPERIMENTS.md env-knob table). Unset/invalid → caller's
+  // choice stands; benches that sweep backends themselves clear the knob.
+  ParallelCubeOptions run_opts = opts;
+  if (const auto mode = ParseBackendMode(EnvStr("SNCUBE_BACKEND", ""))) {
+    run_opts.backend = *mode;
+  }
   obs::TraceSink trace_sink;
   const char* trace_prefix = std::getenv("SNCUBE_TRACE_OUT");
   if (trace_prefix != nullptr) cluster.set_trace_sink(&trace_sink);
@@ -45,7 +52,7 @@ RunResult RunParallel(const DatasetSpec& spec, int p,
     const Relation local = GenerateSlice(spec, p, comm.rank());
     ParallelCubeStats stats;
     const CubeResult cube =
-        BuildParallelCube(comm, local, schema, selected, opts, &stats);
+        BuildParallelCube(comm, local, schema, selected, run_opts, &stats);
     rows[comm.rank()] = cube.TotalRows();
     bytes[comm.rank()] = cube.TotalBytes();
     merges[comm.rank()] = stats.merge;
@@ -153,7 +160,8 @@ double RunSequentialSeconds(const DatasetSpec& spec,
                      &stats);
     }
     comm.ChargeScanRecords(stats.records_scanned + stats.rows_emitted);
-    comm.ChargeCpu(stats.sort_cost_units * comm.cost().cpu_sort_record_s);
+    comm.ChargeCpu(stats.sort_cost_units * comm.cost().cpu_sort_record_s +
+                   stats.hash_cost_units * comm.cost().cpu_hash_record_s);
   });
   return cluster.SimTimeSeconds();
 }

@@ -1,0 +1,131 @@
+// Lock-striped concurrent aggregation map: the shared-memory half of the
+// hash backend (hash_agg.h).
+//
+// Keys are the group-by prefix of a fixed-width record, zero-padded to
+// ViewId::kMaxDims words so one POD key type serves every view width.
+// The table is striped: a key's hash picks one of `stripes` independent
+// (mutex, unordered_map) pairs, so concurrent Combine calls only contend
+// when they land on the same stripe — the classic design of the concurrent
+// maps in "Global Hash Tables Strike Back!" (PAPERS.md), minus resizing
+// exotica we don't need for bounded cube widths.
+//
+// Determinism: Combine is associative and commutative for every AggFn
+// (int64 wrapping sum, min, max), so the aggregate per key is independent
+// of arrival order. Drain never traverses the unordered_map — each stripe
+// keeps an insertion log of node pointers (stable across rehash) and the
+// caller sorts the drained rows — so no iteration order ever reaches an
+// output. That is why the single sncheck:allow below is safe: the table is
+// lookup-only with respect to emission.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "lattice/view_id.h"
+#include "relation/types.h"
+
+namespace sncube::hashagg {
+
+// One padded group key. Unused trailing words are zero, so equality and
+// hashing over the full array are width-agnostic.
+struct GroupKey {
+  std::array<Key, ViewId::kMaxDims> words;
+  bool operator==(const GroupKey&) const = default;
+};
+
+// FNV-1a over the padded words: deterministic across platforms (unlike
+// std::hash), which keeps stripe assignment reproducible in tests.
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (Key w : k.words) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class ConcurrentAggMap {
+ public:
+  static constexpr std::size_t kDefaultStripes = 64;
+
+  // `stripes` is rounded up to a power of two. Small counts are legal (the
+  // contention test uses 2); 1 degenerates to a single global lock.
+  explicit ConcurrentAggMap(std::size_t stripes = kDefaultStripes) {
+    std::size_t n = 1;
+    while (n < stripes) n <<= 1;
+    stripes_ = std::vector<Stripe>(n);
+  }
+
+  // Folds (key, m) into the table under `fn`. Thread-safe; callable from
+  // TaskPool workers.
+  void Combine(const GroupKey& key, Measure m, AggFn fn) {
+    Stripe& s = stripes_[StripeIndex(key)];
+    MutexLock lock(s.mu);
+    auto [it, inserted] = s.table.try_emplace(key, m);
+    if (inserted) {
+      s.log.push_back(&*it);
+    } else {
+      it->second = CombineMeasure(fn, it->second, m);
+    }
+  }
+
+  // Total distinct groups.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (auto& s : stripes_) {
+      MutexLock lock(s.mu);
+      total += s.table.size();
+    }
+    return total;
+  }
+
+  // Moves every (key, measure) pair out, stripe by stripe in stripe order,
+  // within a stripe in insertion order. That order depends on the thread
+  // schedule — callers MUST sort before emitting rows (hash_agg.cc does).
+  std::vector<std::pair<GroupKey, Measure>> Drain() {
+    std::vector<std::pair<GroupKey, Measure>> out;
+    out.reserve(size());
+    for (auto& s : stripes_) {
+      MutexLock lock(s.mu);
+      for (const auto* node : s.log) out.emplace_back(node->first, node->second);
+      s.table.clear();
+      s.log.clear();
+    }
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    mutable Mutex mu;
+    // Lookup-only table: emission never iterates it — Drain walks `log`
+    // (insertion order) and the rows are sorted before any output, so the
+    // unordered iteration order cannot leak into results.
+    // sncheck:allow(unordered-iter): lookup-only; Drain walks the insertion log and hash_agg.cc sorts drained rows before emission
+    std::unordered_map<GroupKey, Measure, GroupKeyHash> table
+        SNCUBE_GUARDED_BY(mu);
+    // Pointers into `table` nodes (stable across rehash), in insertion
+    // order.
+    std::vector<const std::pair<const GroupKey, Measure>*> log
+        SNCUBE_GUARDED_BY(mu);
+  };
+
+  std::size_t StripeIndex(const GroupKey& key) const {
+    const std::uint64_t h = GroupKeyHash{}(key);
+    // Fold the high bits in so the stripe index and the in-table bucket
+    // (which libstdc++ derives from the low bits mod a prime) decorrelate.
+    return (h ^ (h >> 32)) & (stripes_.size() - 1);
+  }
+
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace sncube::hashagg

@@ -1,0 +1,67 @@
+#include "hashagg/hash_agg.h"
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/parallel_algo.h"
+#include "hashagg/concurrent_map.h"
+#include "lattice/view_id.h"
+
+namespace sncube::hashagg {
+namespace {
+
+// Rows per ParallelFor chunk: big enough that stripe-lock traffic, not
+// scheduling, dominates; small enough to load-balance skewed key runs.
+constexpr std::size_t kGrainRows = 2048;
+
+}  // namespace
+
+Relation HashAggregate(const Relation& rel, std::span<const int> cols,
+                       AggFn fn, HashAggStats* stats) {
+  const int w = static_cast<int>(cols.size());
+  SNCUBE_CHECK(w <= ViewId::kMaxDims);
+  for (int c : cols) {
+    SNCUBE_CHECK(c >= 0 && c < rel.width());
+  }
+
+  Relation out(w);
+  if (rel.empty()) return out;
+
+  ConcurrentAggMap map;
+  exec::ParallelForAuto(
+      rel.size(), kGrainRows,
+      [&](std::size_t begin, std::size_t end) {
+        GroupKey key{};  // trailing words stay zero for every row
+        for (std::size_t r = begin; r < end; ++r) {
+          for (int k = 0; k < w; ++k) {
+            key.words[static_cast<std::size_t>(k)] =
+                rel.key(r, cols[static_cast<std::size_t>(k)]);
+          }
+          map.Combine(key, rel.measure(r), fn);
+        }
+      });
+
+  // Drain order depends on the thread schedule; the group keys are distinct,
+  // so the stable sort below has a unique fixed point and erases it.
+  const std::vector<std::pair<GroupKey, Measure>> groups = map.Drain();
+  Relation unsorted(w);
+  unsorted.Reserve(groups.size());
+  for (const auto& [key, m] : groups) {
+    unsorted.Append(std::span<const Key>(key.words.data(),
+                                         static_cast<std::size_t>(w)),
+                    m);
+  }
+  std::vector<int> out_cols(static_cast<std::size_t>(w));
+  std::iota(out_cols.begin(), out_cols.end(), 0);
+  out = exec::SortRelationAuto(unsorted, out_cols);
+
+  if (stats != nullptr) {
+    stats->rows_hashed += rel.size();
+    stats->groups += out.size();
+  }
+  return out;
+}
+
+}  // namespace sncube::hashagg

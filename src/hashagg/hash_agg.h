@@ -1,0 +1,40 @@
+// Hash-based group-by aggregation: the second view-computation engine.
+//
+// HashAggregate(rel, cols, fn) produces, byte for byte, the same Relation
+// as relation/aggregate.h's SortAndAggregate(rel, cols, fn): width
+// cols.size(), columns in `cols` order, one row per distinct group, rows
+// ascending-lexicographic in that order. Instead of sorting all n input
+// rows (n·log2 n comparisons) it makes one unordered parallel pass that
+// folds each row into a lock-striped concurrent table (concurrent_map.h)
+// and then sorts only the g distinct groups (g·log2 g, typically g ≪ n) —
+// the trade the scheduler's cost model prices per edge (schedule/backend.h).
+//
+// Determinism: every AggFn is associative and commutative over int64, so
+// per-group aggregates are independent of combine order; group keys are
+// distinct, so the final comparison sort has exactly one fixed point. The
+// result is therefore identical for any pool, thread count, or stripe
+// count — property-tested against the sort backend in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "relation/relation.h"
+
+namespace sncube::hashagg {
+
+struct HashAggStats {
+  std::uint64_t rows_hashed = 0;  // input rows folded into the table
+  std::uint64_t groups = 0;       // distinct groups emitted
+};
+
+// Group `rel` by `cols` (indices into rel's columns; any order, no
+// duplicates, size ≤ ViewId::kMaxDims) and fold measures with `fn`.
+// Runs on exec::CurrentPool() when one is installed (via
+// exec::ParallelForAuto); serial otherwise. cols may be empty — matching
+// SortAndAggregate's width-0 contract, the result is one zero-width row
+// aggregating every input row (empty input → empty output).
+Relation HashAggregate(const Relation& rel, std::span<const int> cols,
+                       AggFn fn, HashAggStats* stats = nullptr);
+
+}  // namespace sncube::hashagg

@@ -1,0 +1,59 @@
+#include "schedule/backend.h"
+
+namespace sncube {
+
+std::optional<BackendMode> ParseBackendMode(const std::string& text) {
+  if (text == "sort") return BackendMode::kSort;
+  if (text == "hash") return BackendMode::kHash;
+  if (text == "auto") return BackendMode::kAuto;
+  return std::nullopt;
+}
+
+const char* BackendModeName(BackendMode mode) {
+  switch (mode) {
+    case BackendMode::kSort:
+      return "sort";
+    case BackendMode::kHash:
+      return "hash";
+    case BackendMode::kAuto:
+      return "auto";
+  }
+  return "?";  // unreachable
+}
+
+double SortBackendCost(double parent_rows) { return SortCost(parent_rows); }
+
+double HashBackendCost(double parent_rows, double head_rows,
+                       double hash_record_ratio) {
+  return hash_record_ratio * parent_rows + SortCost(head_rows);
+}
+
+void ChooseBackends(ScheduleTree& tree, BackendMode mode,
+                    double hash_record_ratio) {
+  for (int i = 0; i < tree.size(); ++i) {
+    const ScheduleNode& n = tree.node(i);
+    if (n.edge != EdgeKind::kSort) {
+      tree.SetBackend(i, EdgeBackend::kSort);
+      continue;
+    }
+    switch (mode) {
+      case BackendMode::kSort:
+        tree.SetBackend(i, EdgeBackend::kSort);
+        break;
+      case BackendMode::kHash:
+        tree.SetBackend(i, EdgeBackend::kHash);
+        break;
+      case BackendMode::kAuto: {
+        const double parent_rows = tree.node(n.parent).est_rows;
+        const bool hash_cheaper =
+            HashBackendCost(parent_rows, n.est_rows, hash_record_ratio) <
+            SortBackendCost(parent_rows);
+        tree.SetBackend(
+            i, hash_cheaper ? EdgeBackend::kHash : EdgeBackend::kSort);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sncube

@@ -1,0 +1,51 @@
+// Cost-based engine choice for schedule-tree sort edges.
+//
+// Every kSort edge (u → v) can be materialized two ways:
+//
+//   sort:  re-sort u's A_u rows into v's order, then emit v's scan chain —
+//          cost S(A_u) = A_u·log2(A_u) sort-comparison units;
+//   hash:  one unordered pass folds u's rows into a concurrent hash table
+//          keyed on v's dimensions (src/hashagg/), then only the A_v
+//          distinct groups are sorted into v's order — cost
+//          r·A_u + S(A_v), where r = cpu_hash_record_s/cpu_sort_record_s
+//          prices one hash-table probe in sort-comparison units.
+//
+// Hash wins when the edge reduces cardinality enough that sorting g ≪ n
+// groups plus a linear pass beats sorting all n rows; sort wins on
+// low-reduction edges where the hash pass is pure overhead. A_u and A_v are
+// the lattice estimator rows already stamped on the nodes (est_rows), so
+// auto mode needs no new statistics. Ties break to sort — the
+// paper-faithful engine and the one external sort can spill.
+//
+// Both engines produce byte-identical views (DESIGN.md §13), so a wrong
+// estimate costs only time, never correctness.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "schedule/schedule_tree.h"
+
+namespace sncube {
+
+// How `--backend` / SNCUBE_BACKEND resolves edges: force one engine, or
+// cost-choose per edge.
+enum class BackendMode : std::uint8_t { kSort, kHash, kAuto };
+
+// "sort" / "hash" / "auto" → mode; anything else → nullopt.
+std::optional<BackendMode> ParseBackendMode(const std::string& text);
+const char* BackendModeName(BackendMode mode);
+
+// Per-edge engine costs in sort-comparison units (see header comment).
+double SortBackendCost(double parent_rows);
+double HashBackendCost(double parent_rows, double head_rows,
+                       double hash_record_ratio);
+
+// Stamps the incoming-edge engine of every kSort node of `tree`:
+// kSort/kHash force that engine everywhere, kAuto picks hash on an edge iff
+// it is strictly cheaper under the cost model (tie → sort).
+// hash_record_ratio = CostParams::cpu_hash_record_s / cpu_sort_record_s.
+void ChooseBackends(ScheduleTree& tree, BackendMode mode,
+                    double hash_record_ratio);
+
+}  // namespace sncube

@@ -1,0 +1,152 @@
+// src/hashagg/: the lock-striped concurrent aggregation engine.
+//
+// The master property is byte-identity: HashAggregate must equal
+// relation/aggregate.h's SortAndAggregate — the sort backend's primitive —
+// exactly, for every aggregate, column subset, thread count, and stripe
+// count. Everything else (striping under contention, width-0, single
+// group, stats) hangs off that contract.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/task_pool.h"
+#include "hashagg/concurrent_map.h"
+#include "hashagg/hash_agg.h"
+#include "relation/aggregate.h"
+
+namespace sncube {
+namespace {
+
+using hashagg::ConcurrentAggMap;
+using hashagg::GroupKey;
+using hashagg::HashAggregate;
+using hashagg::HashAggStats;
+
+Relation RandomRelation(std::size_t rows, const std::vector<Key>& cards,
+                        std::uint64_t seed) {
+  Relation rel(static_cast<int>(cards.size()));
+  Rng rng(seed);
+  std::vector<Key> keys(cards.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cards.size(); ++c) {
+      keys[c] = static_cast<Key>(rng.Below(cards[c]));
+    }
+    rel.Append(keys, static_cast<Measure>(rng.Below(2000)) - 1000);
+  }
+  return rel;
+}
+
+TEST(HashAggregate, MatchesSortAndAggregateSerial) {
+  const Relation rel = RandomRelation(4000, {8, 4, 16, 3, 2}, 11);
+  const std::vector<std::vector<int>> subsets = {
+      {0, 1, 2, 3, 4}, {2, 0}, {4}, {1, 3}, {3, 1, 0}};
+  for (AggFn fn : {AggFn::kSum, AggFn::kMin, AggFn::kMax}) {
+    for (const auto& cols : subsets) {
+      EXPECT_EQ(HashAggregate(rel, cols, fn), SortAndAggregate(rel, cols, fn))
+          << "fn=" << static_cast<int>(fn) << " width=" << cols.size();
+    }
+  }
+}
+
+TEST(HashAggregate, PoolResultIdenticalToSerial) {
+  // Dup-heavy so the parallel chunks collide on groups constantly.
+  const Relation rel = RandomRelation(30000, {6, 5, 4}, 22);
+  const std::vector<int> cols = {0, 2};
+  const Relation serial = HashAggregate(rel, cols, AggFn::kSum);
+  EXPECT_EQ(serial, SortAndAggregate(rel, cols, AggFn::kSum));
+  for (int threads : {2, 4, 8}) {
+    exec::TaskPool pool(threads);
+    exec::PoolScope scope(&pool);
+    EXPECT_EQ(HashAggregate(rel, cols, AggFn::kSum), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(HashAggregate, WidthZeroAggregatesEverything) {
+  const Relation rel = RandomRelation(777, {5, 3}, 33);
+  for (AggFn fn : {AggFn::kSum, AggFn::kMin, AggFn::kMax}) {
+    const Relation got = HashAggregate(rel, {}, fn);
+    EXPECT_EQ(got, SortAndAggregate(rel, {}, fn));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got.width(), 0);
+  }
+}
+
+TEST(HashAggregate, SingleGroup) {
+  Relation rel(2);
+  const std::vector<Key> row = {7, 9};
+  for (int i = 0; i < 500; ++i) rel.Append(row, i);
+  const std::vector<int> cols = {0, 1};
+  const Relation got = HashAggregate(rel, cols, AggFn::kSum);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.measure(0), 500 * 499 / 2);
+  EXPECT_EQ(got, SortAndAggregate(rel, cols, AggFn::kSum));
+}
+
+TEST(HashAggregate, EmptyRelation) {
+  const Relation rel(3);
+  const std::vector<int> cols = {1, 0};
+  const Relation got = HashAggregate(rel, cols, AggFn::kSum);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(got.width(), 2);
+  EXPECT_EQ(HashAggregate(rel, {}, AggFn::kSum).size(), 0u);
+}
+
+TEST(HashAggregate, StatsCountRowsAndGroups) {
+  const Relation rel = RandomRelation(1000, {4, 4}, 44);
+  HashAggStats stats;
+  const std::vector<int> cols = {0, 1};
+  const Relation got = HashAggregate(rel, cols, AggFn::kSum, &stats);
+  EXPECT_EQ(stats.rows_hashed, 1000u);
+  EXPECT_EQ(stats.groups, got.size());
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentAggMap directly: striping under contention.
+
+TEST(ConcurrentAggMap, ContendedStripesStaySane) {
+  // 2 stripes, 4 hot keys, many threads: every Combine contends. The sums
+  // must still come out exact — under TSan this is also the data-race proof
+  // for the striped locking.
+  constexpr std::size_t kRows = 100000;
+  constexpr Key kGroups = 4;
+  ConcurrentAggMap map(/*stripes=*/2);
+  exec::TaskPool pool(8);
+  pool.ParallelFor(kRows, 512, [&](std::size_t begin, std::size_t end) {
+    GroupKey key{};
+    for (std::size_t r = begin; r < end; ++r) {
+      key.words[0] = static_cast<Key>(r % kGroups);
+      map.Combine(key, static_cast<Measure>(r), AggFn::kSum);
+    }
+  });
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kGroups));
+  auto pairs = map.Drain();
+  ASSERT_EQ(pairs.size(), static_cast<std::size_t>(kGroups));
+  // Σ r over r ≡ g (mod 4), r < 100000.
+  std::vector<Measure> want(kGroups, 0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    want[r % kGroups] += static_cast<Measure>(r);
+  }
+  for (const auto& [key, sum] : pairs) {
+    EXPECT_EQ(sum, want[key.words[0]]) << "group " << key.words[0];
+  }
+  // Drained: the map is reusable and empty.
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.Drain().empty());
+}
+
+TEST(ConcurrentAggMap, MinMaxCombine) {
+  ConcurrentAggMap map;
+  GroupKey key{};
+  map.Combine(key, 5, AggFn::kMin);
+  map.Combine(key, -3, AggFn::kMin);
+  map.Combine(key, 9, AggFn::kMin);
+  auto pairs = map.Drain();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].second, -3);
+}
+
+}  // namespace
+}  // namespace sncube

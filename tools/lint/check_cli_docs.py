@@ -10,11 +10,17 @@ without a README write-up fails `ctest -L lint`.
 
 Usage:
     check_cli_docs.py --binary build/tools/sncube --readme README.md
-    check_cli_docs.py --help-text help.txt      --readme README.md
+    check_cli_docs.py --help-text help.txt      --readme README.md \\
+                      --extra-docs DESIGN.md
 
 --binary runs `<binary> help` and checks its stdout; --help-text reads a
 saved help text instead (used by the self-test fixtures, and handy for
 checking a doc change without building).
+
+--extra-docs FILE (repeatable) closes the other gap: a flag discussed in a
+design doc but absent from the README. Every `--flag` token found in FILE
+must also appear in the README, so DESIGN.md cannot describe a knob the
+user-facing docs never mention.
 
 Exit status: 0 documented, 1 missing flags, 2 usage/tool error.
 """
@@ -39,6 +45,10 @@ def main(argv):
     source.add_argument("--binary", help="sncube binary; runs `<binary> help`")
     source.add_argument("--help-text", help="file holding saved help output")
     parser.add_argument("--readme", required=True, help="README.md to check")
+    parser.add_argument("--extra-docs", action="append", default=[],
+                        metavar="FILE",
+                        help="doc whose --flags must also appear in the "
+                             "README (repeatable, e.g. DESIGN.md)")
     args = parser.parse_args(argv)
 
     if args.binary:
@@ -75,9 +85,25 @@ def main(argv):
     for flag in missing:
         print(f"{args.readme}: flag `{flag}` from `sncube help` is not "
               f"documented")
-    if missing:
-        print(f"check_cli_docs: {len(missing)} of {len(flags)} flag(s) "
-              f"undocumented", file=sys.stderr)
+
+    extra_missing = 0
+    for doc in args.extra_docs:
+        try:
+            with open(doc, encoding="utf-8") as f:
+                doc_text = f.read()
+        except OSError as e:
+            print(f"check_cli_docs: {e}", file=sys.stderr)
+            return 2
+        for flag in extract_flags(doc_text):
+            if flag not in documented:
+                extra_missing += 1
+                print(f"{args.readme}: flag `{flag}` discussed in {doc} is "
+                      f"missing from the README")
+
+    if missing or extra_missing:
+        print(f"check_cli_docs: {len(missing)} of {len(flags)} help flag(s) "
+              f"undocumented, {extra_missing} extra-doc flag(s) missing",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -43,6 +43,26 @@ for flag in ("--procs", "--trace-out"):
 check(proc.stdout.count("not documented") == 2,
       f"readme_fail: expected exactly 2 findings:\n{proc.stdout}")
 
+# --- extra docs, all flags documented: still clean --------------------------
+design_md = os.path.join(FIXTURES, "design_extra.md")
+proc = run("--help-text", help_txt,
+           "--readme", os.path.join(FIXTURES, "readme_pass.md"),
+           "--extra-docs", design_md)
+check(proc.returncode == 0,
+      f"extra pass: expected exit 0, got {proc.returncode}:\n{proc.stdout}")
+
+# --- extra docs naming flags the README omits: distinct findings ------------
+proc = run("--help-text", help_txt,
+           "--readme", os.path.join(FIXTURES, "readme_fail.md"),
+           "--extra-docs", design_md)
+check(proc.returncode == 1,
+      f"extra fail: expected exit 1, got {proc.returncode}")
+for flag in ("--procs", "--trace-out"):
+    check(f"`{flag}` discussed in {design_md} is missing" in proc.stdout,
+          f"extra fail: missing extra-doc finding for {flag}:\n{proc.stdout}")
+check(proc.stdout.count("missing from the README") == 2,
+      f"extra fail: expected exactly 2 extra-doc findings:\n{proc.stdout}")
+
 # --- degenerate inputs: usage errors, not silent passes ---------------------
 proc = run("--help-text", os.path.join(FIXTURES, "no_such_file.txt"),
            "--readme", os.path.join(FIXTURES, "readme_pass.md"))
@@ -55,6 +75,11 @@ check(proc.returncode == 2, "missing readme: expected exit 2")
 proc = run("--help-text", os.devnull,
            "--readme", os.path.join(FIXTURES, "readme_pass.md"))
 check(proc.returncode == 2, "empty help text: expected exit 2")
+
+proc = run("--help-text", help_txt,
+           "--readme", os.path.join(FIXTURES, "readme_pass.md"),
+           "--extra-docs", os.path.join(FIXTURES, "no_such_design.md"))
+check(proc.returncode == 2, "missing extra doc: expected exit 2")
 
 if failures:
     print("check_cli_docs_test: FAIL")

@@ -66,7 +66,8 @@ def main(argv):
             "check_cli_docs",
             [py, os.path.join(HERE, "check_cli_docs.py"),
              "--binary", args.binary,
-             "--readme", os.path.join(root, "README.md")])
+             "--readme", os.path.join(root, "README.md"),
+             "--extra-docs", os.path.join(root, "DESIGN.md")])
     else:
         print("=== check_cli_docs: SKIPPED (no --binary)", flush=True)
 

@@ -32,7 +32,8 @@ Enforces invariants no off-the-shelf checker knows about, as compile-time
                    randomness derives from common/rng.h seeded streams so
                    runs, tests, and fault plans replay bit-for-bit.
 
-  raw-thread       src/core, src/io, src/exec must not spawn raw threads
+  raw-thread       src/core, src/io, src/exec, src/hashagg must not spawn
+                   raw threads
                    (std::thread / std::jthread / std::async). Intra-rank
                    parallelism goes through the exec::TaskPool runtime so
                    span accounting, determinism (stable chunk boundaries),
@@ -130,7 +131,7 @@ RULES = [
     },
     {
         "id": "raw-thread",
-        "paths": ("src/core/", "src/io/", "src/exec/"),
+        "paths": ("src/core/", "src/io/", "src/exec/", "src/hashagg/"),
         # The pool implementation is where the real threads are supposed to
         # live — all other intra-rank parallelism rides on exec::TaskPool.
         # (The header declares the worker vector; the .cc spawns them.)

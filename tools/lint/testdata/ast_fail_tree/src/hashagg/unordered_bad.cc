@@ -1,0 +1,23 @@
+// Fixture: the hash-aggregation tier is a deterministic path — its tables
+// feed cube bytes, so an unsuppressed unordered container, and any
+// traversal of one, must be flagged. (The real engine's lookup-only table
+// in src/hashagg/concurrent_map.h carries the suppression; drained rows are
+// sorted before emission.)
+#include <cstdint>
+#include <unordered_map>
+
+namespace sncube::hashagg {
+
+struct LeakyStripe {
+  std::unordered_map<std::uint64_t, long> table;  // EXPECT unordered-iter
+};
+
+long EmitInTableOrder(const LeakyStripe& s) {
+  long sum = 0;
+  for (const auto& kv : s.table) {  // EXPECT unordered-iter
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace sncube::hashagg

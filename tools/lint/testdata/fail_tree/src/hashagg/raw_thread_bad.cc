@@ -1,0 +1,14 @@
+// Fixture: raw thread creation in the hash-aggregation tier. HashAggregate
+// parallelizes via exec::ParallelForAuto on the rank's TaskPool; a raw
+// thread would dodge span accounting and the stable chunk boundaries the
+// byte-identity contract rests on.
+#include <thread>
+
+namespace sncube::hashagg {
+
+void BadTableFill() {
+  std::thread filler([] {});  // EXPECT raw-thread
+  filler.join();
+}
+
+}  // namespace sncube::hashagg
