@@ -25,11 +25,25 @@
 // number is wrong_answers == 0 under churn. Emits BENCH_serve_shard.json
 // with per-outcome counts and the router's ok/error latency quantiles.
 // Extra knob: SNCUBE_SERVE_SHARDS (default 4).
+//
+// A third phase — the REFRESH bench — reruns the mix through a fresh
+// fault-free sharded tier while a background RefreshCoordinator ingests
+// deterministic deltas and two-phase-swaps new snapshot epochs in
+// mid-run (DESIGN.md §14). Per-epoch golden answers are precomputed by
+// rolling the same deltas offline, and every kOk answer must bit-match
+// SOME epoch's golden — old or new, never a blend — so the headline
+// number is again wrong_answers == 0. Emits BENCH_refresh.json. Extra
+// knob: SNCUBE_SERVE_REFRESHES (default 4).
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -39,6 +53,8 @@
 #include "lattice/lattice.h"
 #include "net/fault.h"
 #include "query/engine.h"
+#include "refresh/delta.h"
+#include "refresh/refresh.h"
 #include "seqcube/seq_cube.h"
 #include "serve/query_key.h"
 #include "serve/router.h"
@@ -229,9 +245,130 @@ int main() {
   shard_os << buf << "\"router\":" << rstats.ToJson() << "}\n";
   std::printf("wrote BENCH_serve_shard.json\n");
 
-  if (wrong.load() != 0) {
-    std::fprintf(stderr, "FAIL: %llu wrong answers under churn\n",
-                 static_cast<unsigned long long>(wrong.load()));
+  // ---- Refresh phase: online epoch swaps under live traffic. ----
+  const int refreshes = static_cast<int>(EnvInt("SNCUBE_SERVE_REFRESHES", 4));
+  const std::int64_t delta_rows = std::max<std::int64_t>(1, spec.rows / 10);
+  // The k-th refresh ingests this exact delta — deterministic, so the
+  // offline golden roll below and the live coordinator see identical rows.
+  const auto refresh_delta = [&](int e) {
+    DatasetSpec dspec = spec;
+    dspec.rows = delta_rows;
+    dspec.seed = 4242 + static_cast<std::uint64_t>(e);
+    return GenerateDataset(dspec);
+  };
+
+  // Per-epoch golden answers for the whole pool, rolled one epoch at a
+  // time (only one cube held in memory beyond the base).
+  std::map<std::string, std::vector<Relation>> refresh_golden;
+  {
+    CubeResult rolling;
+    const CubeResult* cur = &cube;  // epoch 0 = the base cube
+    for (int e = 0; e <= refreshes; ++e) {
+      if (e > 0) {
+        const Relation delta = refresh_delta(e);
+        rolling = MergeDeltaCube(
+            *cur, ComputeDeltaCube(delta, schema, AffectedViews(*cur, delta)));
+        cur = &rolling;
+      }
+      const CubeQueryEngine epoch_engine(*cur);
+      for (const Query& q : mix.pool()) {
+        Query bare = q;
+        bare.from_view.reset();
+        refresh_golden[CanonicalQueryKey(q)].push_back(
+            epoch_engine.Execute(bare).rel);
+      }
+    }
+  }
+
+  ShardSet refresh_set(cube, sopts, FaultPlan());
+  Router refresh_router(refresh_set, ropts);
+
+  const std::string snap_dir =
+      (std::filesystem::temp_directory_path() /
+       ("sncube_bench_refresh_" + std::to_string(::getpid()))).string();
+  RefreshOptions refresh_opts;
+  refresh_opts.dir = snap_dir;
+  RefreshCoordinator coordinator(
+      refresh_set,
+      std::shared_ptr<const CubeResult>(&cube, [](const CubeResult*) {}),
+      schema, refresh_opts);
+
+  // The coordinator paces itself off the routed-query count: refresh e
+  // starts once e/(R+1) of the traffic has been answered, so every epoch
+  // serves a slice of the run and the last slice lands post-refresh.
+  std::atomic<std::int64_t> processed{0};
+  std::atomic<std::uint64_t> wrong_refresh{0};
+  WallTimer refresh_timer;
+  std::thread refresher([&] {
+    for (int e = 1; e <= refreshes; ++e) {
+      const std::int64_t threshold =
+          static_cast<std::int64_t>(e) * queries / (refreshes + 1);
+      while (processed.load(std::memory_order_acquire) < threshold) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      coordinator.Refresh(refresh_delta(e));
+    }
+  });
+  std::vector<std::thread> refresh_threads;
+  refresh_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    refresh_threads.emplace_back([&, c] {
+      Rng rng(3000003ULL * static_cast<std::uint64_t>(c + 1));
+      const std::int64_t n =
+          queries / clients + (c < queries % clients ? 1 : 0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const Query& q = mix.Sample(rng);
+        const RouterResult r = refresh_router.Execute(q);
+        if (r.outcome == RouterOutcome::kOk) {
+          const auto& goldens = refresh_golden.at(CanonicalQueryKey(q));
+          bool match = false;
+          for (const Relation& g : goldens) {
+            if (r.answer->rel == g) { match = true; break; }
+          }
+          if (!match) wrong_refresh.fetch_add(1, std::memory_order_relaxed);
+        }
+        processed.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+  for (auto& t : refresh_threads) t.join();
+  refresher.join();
+  const double refresh_wall_s = refresh_timer.Seconds();
+  const RouterStatsSnapshot refresh_rstats = refresh_router.Stats();
+  const std::uint64_t epochs_installed = refresh_set.serving_epoch();
+  refresh_set.Shutdown();
+  std::error_code ec;
+  std::filesystem::remove_all(snap_dir, ec);
+
+  std::printf("refresh (%d shards, %d refreshes, %lld-row deltas): "
+              "%llu/%llu ok, epochs installed %llu, wrong answers %llu, "
+              "ok p99 %.0f us\n",
+              shards, refreshes, static_cast<long long>(delta_rows),
+              static_cast<unsigned long long>(refresh_rstats.ok),
+              static_cast<unsigned long long>(refresh_rstats.requests),
+              static_cast<unsigned long long>(epochs_installed),
+              static_cast<unsigned long long>(wrong_refresh.load()),
+              refresh_rstats.ok_latency.p99_us);
+
+  std::ofstream refresh_os("BENCH_refresh.json");
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"serve_refresh\",\"shards\":%d,\"clients\":%d,"
+                "\"queries\":%lld,\"refreshes\":%d,\"delta_rows\":%lld,"
+                "\"wall_s\":%.4f,\"qps\":%.0f,\"epochs_installed\":%llu,"
+                "\"wrong_answers\":%llu,",
+                shards, clients, static_cast<long long>(queries), refreshes,
+                static_cast<long long>(delta_rows), refresh_wall_s,
+                static_cast<double>(queries) / refresh_wall_s,
+                static_cast<unsigned long long>(epochs_installed),
+                static_cast<unsigned long long>(wrong_refresh.load()));
+  refresh_os << buf << "\"router\":" << refresh_rstats.ToJson() << "}\n";
+  std::printf("wrote BENCH_refresh.json\n");
+
+  if (wrong.load() != 0 || wrong_refresh.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu wrong answers under churn, %llu under refresh\n",
+                 static_cast<unsigned long long>(wrong.load()),
+                 static_cast<unsigned long long>(wrong_refresh.load()));
     return 1;
   }
   return 0;

@@ -200,9 +200,12 @@ CubeResult BuildParallelCube(Comm& comm, const Relation& local_raw,
     comm.SetPhase("compute" + tag);
     step.Switch("compute", i);
     ExecStats exec_stats;
-    CubeResult cube = ExecuteScheduleTree(tree, std::move(root_data), opts.fn,
-                                          &comm.disk(), &exec_stats);
-    ChargeExecStats(comm, exec_stats);
+    // Charge per pipeline, inside each pipeline's open span, so the trace
+    // shows every pipeline with its own simulated extent; the increments sum
+    // to exec_stats, so total sim cost is identical to batch charging.
+    CubeResult cube = ExecuteScheduleTree(
+        tree, std::move(root_data), opts.fn, &comm.disk(), &exec_stats,
+        [&comm](const ExecStats& d) { ChargeExecStats(comm, d); });
     if (stats != nullptr) stats->exec += exec_stats;
 
     // ---- Step 3: merge of local Di-partitions ---------------------------

@@ -1,5 +1,6 @@
 #include "net/fault.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <set>
@@ -153,6 +154,16 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
       sl.factor = ParseNumber(clause, value.substr(last_colon + 1));
       if (!(sl.factor >= 1.0)) ParseFail(clause, "factor must be >= 1");
       plan.shard_slows.push_back(sl);
+    } else if (kind == "refreshkill") {
+      RefreshKill rk;
+      char* end = nullptr;
+      const long phase = std::strtol(body.c_str(), &end, 10);
+      if (end != body.c_str() + body.size() || body.empty() || phase < 0) {
+        ParseFail(clause, "bad phase");
+      }
+      rk.phase = static_cast<int>(phase);
+      RejectDuplicate(clause, seen, kind, rk.phase);
+      plan.refresh_kills.push_back(rk);
     } else if (kind == "seed") {
       if (seen_seed) ParseFail(clause, "duplicate seed clause");
       seen_seed = true;
@@ -203,6 +214,10 @@ std::string FaultPlan::ToSpec() const {
     out << ":" << sl.factor;
     sep = ";";
   }
+  for (const auto& rk : refresh_kills) {
+    out << sep << "refreshkill:" << rk.phase;
+    sep = ";";
+  }
   out << sep << "seed:" << seed;
   return out.str();
 }
@@ -234,6 +249,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int rank)
   for (const auto& tw : plan.torn_writes) {
     if (tw.rank == rank) torn_write_rate_ = tw.rate;
   }
+  for (const auto& rk : plan.refresh_kills) {
+    refresh_kill_phases_.push_back(rk.phase);
+  }
+  std::sort(refresh_kill_phases_.begin(), refresh_kill_phases_.end());
 }
 
 void FaultInjector::OnCollective(std::uint64_t superstep) {
@@ -241,6 +260,15 @@ void FaultInjector::OnCollective(std::uint64_t superstep) {
     throw InjectedFaultError("fault injection: rank " + std::to_string(rank_) +
                              " killed at superstep " +
                              std::to_string(superstep));
+  }
+}
+
+void FaultInjector::OnRefreshPhase(int phase) {
+  if (std::binary_search(refresh_kill_phases_.begin(),
+                         refresh_kill_phases_.end(), phase)) {
+    throw InjectedFaultError(
+        "fault injection: refresh coordinator killed at swap phase " +
+        std::to_string(phase));
   }
 }
 

@@ -35,8 +35,18 @@
 //                             shard's service time is stretched by factor
 //                             (>= 1) for requests in the window
 //
+// Refresh clauses target the online-refresh coordinator (src/refresh). The
+// coordinator acts as rank 0 of its own injector, so bitflip/tornwrite
+// clauses for rank 0 corrupt snapshot slice/manifest writes exactly like
+// checkpoint frames:
+//
+//   refreshkill:<phase>       the refresh coordinator crashes (throws
+//                             InjectedFaultError) on entry to two-phase-swap
+//                             phase <phase> — numbering in refresh/refresh.h
+//
 // joined with ';', e.g. "kill:1@5;slow:2x3.0;diskerr:0:0.01;seed:7" or
-// "shardkill:1:40-90;shardslow:0:0-200:8;seed:3".
+// "shardkill:1:40-90;shardslow:0:0-200:8;seed:3" or
+// "refreshkill:3;tornwrite:0:1;seed:5".
 // Parse rejects duplicate clauses for the same (kind, rank/shard), rates
 // outside [0,1], slow factors below 1, empty windows, and non-numeric
 // values — each with a typed SncubeError naming the offending clause.
@@ -90,6 +100,12 @@ struct FaultPlan {
     std::uint64_t until = kNoEnd;
     double factor = 1.0;
   };
+  // Refresh tier: the coordinator crashes on entry to two-phase-swap phase
+  // `phase` (RefreshCoordinator's numbering, refresh/refresh.h). Modeled as
+  // a thrown InjectedFaultError; recovery is SnapshotStore::Recover.
+  struct RefreshKill {
+    int phase = 0;
+  };
 
   std::vector<Kill> kills;
   std::vector<Straggler> stragglers;
@@ -98,12 +114,13 @@ struct FaultPlan {
   std::vector<TornWrites> torn_writes;
   std::vector<ShardKill> shard_kills;
   std::vector<ShardSlow> shard_slows;
+  std::vector<RefreshKill> refresh_kills;
   std::uint64_t seed = 0;
 
   bool empty() const {
     return kills.empty() && stragglers.empty() && disk_errors.empty() &&
            bit_flips.empty() && torn_writes.empty() && shard_kills.empty() &&
-           shard_slows.empty();
+           shard_slows.empty() && refresh_kills.empty();
   }
 
   // Parses the spec grammar above; throws SncubeError on malformed input.
@@ -127,6 +144,11 @@ class FaultInjector : public DiskFaultHook {
   // Throws InjectedFaultError when the plan kills this rank at `superstep`.
   void OnCollective(std::uint64_t superstep);
 
+  // Throws InjectedFaultError when the plan kills the refresh coordinator on
+  // entry to two-phase-swap phase `phase`. Refresh kills are not rank-scoped:
+  // every injector sees them, and the coordinator runs as rank 0.
+  void OnRefreshPhase(int phase);
+
   // Straggler multiplier for this rank (1.0 when not a straggler).
   double slowdown() const { return slowdown_; }
 
@@ -147,6 +169,7 @@ class FaultInjector : public DiskFaultHook {
   double disk_error_rate_ = 0.0;
   double bit_flip_rate_ = 0.0;
   double torn_write_rate_ = 0.0;
+  std::vector<int> refresh_kill_phases_;  // sorted, deduplicated
   Rng rng_;
   Rng write_rng_;
 };

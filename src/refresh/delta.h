@@ -1,0 +1,68 @@
+// Delta ingestion for online cube refresh (DESIGN.md §14).
+//
+// A DELTA is a relation of newly arrived facts in the schema's canonical
+// layout — insert-only, the OLAP-warehouse norm. Because every supported
+// aggregate distributes over a disjoint union of fact sets
+// (sum/min/max: agg(base ∪ delta) = combine(agg(base), agg(delta))), a
+// refresh never re-scans the base facts: it cubes the (small) delta with the
+// very same Section 3 machinery the initial build used — partial schedule
+// tree over exactly the affected views, Pipesort/hash-aggregate per edge —
+// and then merges the delta cube into the base cube view by view with one
+// linear merge pass per view.
+//
+// The merge is ORDER-PRESERVING: each merged view keeps the base view's sort
+// order (delta rows are re-sorted to it first), so a refreshed cube is
+// drop-in for every consumer that relies on view order — slice partitioning
+// (serve/shard_set.h keeps slices sorted because the source view is),
+// scatter merging (MergeSortedAggregate), and golden byte comparisons.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "io/disk.h"
+#include "relation/schema.h"
+#include "schedule/partial.h"
+#include "seqcube/cube_result.h"
+#include "seqcube/pipeline.h"
+
+namespace sncube {
+
+// The views of `base` an insert-only `delta` invalidates. Distributive
+// aggregates make every materialized view (auxiliaries included) sensitive
+// to any new fact, so this is all of base's views for a non-empty delta and
+// none for an empty one. Centralized anyway: finer pruning (e.g. per-view
+// delta-key coverage) slots in here without touching callers.
+std::vector<ViewId> AffectedViews(const CubeResult& base,
+                                  const Relation& delta);
+
+// Cubes the delta over exactly `affected`, reusing the Section 3 partial
+// build (BuildPartialTree + pipelined execution). Costs land on `disk` /
+// `stats` like any build.
+CubeResult ComputeDeltaCube(const Relation& delta, const Schema& schema,
+                            const std::vector<ViewId>& affected,
+                            AggFn fn = AggFn::kSum, DiskModel* disk = nullptr,
+                            ExecStats* stats = nullptr,
+                            PartialStrategy strategy =
+                                PartialStrategy::kPrunedPipesort);
+
+// Merges two same-width relations that are BOTH sorted lexicographically by
+// column positions `cols`, combining equal-key rows with `fn`. The general-
+// order sibling of MergeSortedAggregate (relation/aggregate.h), which only
+// handles the all-columns-ascending case — view rows are sorted by the
+// view's own order, not the canonical one, so the refresh merge needs the
+// permuted comparator. Output stays sorted by `cols`.
+Relation MergeAggregateByOrder(const Relation& a, const Relation& b,
+                               std::span<const int> cols, AggFn fn);
+
+// The refreshed cube: every view of `base` merged with its counterpart in
+// `delta_cube` (views the delta cube lacks pass through unchanged — an empty
+// delta view contributes nothing). Each output view keeps the BASE view's
+// sort order and selected flag; delta rows are re-sorted to it before the
+// merge. `base` is untouched — the result is a fresh CubeResult, immutable
+// once handed to the serving tier like any other (epoch snapshots depend on
+// this).
+CubeResult MergeDeltaCube(const CubeResult& base, const CubeResult& delta_cube,
+                          AggFn fn = AggFn::kSum);
+
+}  // namespace sncube

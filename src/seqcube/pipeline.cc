@@ -122,7 +122,8 @@ void EmitChain(const ScheduleTree& tree, const Relation& source,
 }  // namespace
 
 CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
-                               AggFn fn, DiskModel* disk, ExecStats* stats) {
+                               AggFn fn, DiskModel* disk, ExecStats* stats,
+                               const PipelineChargeHook& on_pipeline) {
   tree.Validate();
   const ScheduleNode& root = tree.root();
   SNCUBE_CHECK_MSG(root_data.width() == root.view.dim_count(),
@@ -135,9 +136,23 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
   result.views[root.view] =
       ViewResult{root.view, root.order, std::move(root_data), root.selected};
 
+  // Per-pipeline attribution: when a charge hook is installed, track stats
+  // even without a caller-provided accumulator, snapshot before each
+  // pipeline, and hand the hook the increment while the pipeline's span is
+  // still open.
+  ExecStats hook_stats;
+  if (stats == nullptr && on_pipeline) stats = &hook_stats;
+  const auto charge_pipeline = [&](const ExecStats& before) {
+    if (!on_pipeline) return;
+    ExecStats delta = *stats;
+    delta -= before;
+    on_pipeline(delta);
+  };
+
   // Root pipeline: scan descendants fall out of the already-sorted root.
   {
     SNCUBE_TRACE_SPAN("pipe-root");
+    const ExecStats before = stats != nullptr ? *stats : ExecStats{};
     const Relation& src = result.views.at(root.view).rel;
     const int sc = tree.ScanChild(ScheduleTree::kRootIndex);
     if (sc >= 0) {
@@ -146,6 +161,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
       EmitChain(tree, src, cols_seq, ScheduleTree::kRootIndex,
                 /*include_head=*/false, fn, disk, stats, result);
     }
+    charge_pipeline(before);
   }
 
   // Sort-edge pipelines, in tree order (parents precede children).
@@ -153,6 +169,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
     const ScheduleNode& n = tree.node(i);
     if (n.edge != EdgeKind::kSort) continue;
     SNCUBE_TRACE_SPAN_IDX("pipeline", i);
+    const ExecStats before = stats != nullptr ? *stats : ExecStats{};
     const ScheduleNode& parent = tree.node(n.parent);
     const auto it = result.views.find(parent.view);
     SNCUBE_CHECK_MSG(it != result.views.end(), "parent not materialized");
@@ -182,6 +199,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
       std::iota(head_cols.begin(), head_cols.end(), 0);
       EmitChain(tree, head, head_cols, i, /*include_head=*/true, fn, disk,
                 stats, result);
+      charge_pipeline(before);
       continue;
     }
     // Both paths dispatch to the rank's exec pool when one is installed
@@ -200,6 +218,7 @@ CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
     }
     EmitChain(tree, sorted, sort_cols, i, /*include_head=*/true, fn, disk,
               stats, result);
+    charge_pipeline(before);
   }
 
   SNCUBE_CHECK(static_cast<int>(result.views.size()) == tree.size());

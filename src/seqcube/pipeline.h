@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "io/disk.h"
 #include "relation/types.h"
@@ -42,7 +43,27 @@ struct ExecStats {
     hash_cost_units += o.hash_cost_units;
     return *this;
   }
+
+  ExecStats& operator-=(const ExecStats& o) {
+    records_scanned -= o.records_scanned;
+    rows_emitted -= o.rows_emitted;
+    sorts -= o.sorts;
+    scans -= o.scans;
+    hash_aggs -= o.hash_aggs;
+    sort_cost_units -= o.sort_cost_units;
+    hash_cost_units -= o.hash_cost_units;
+    return *this;
+  }
 };
+
+// Called once per pipeline — the root scan chain first, then each sort-edge
+// pipeline in tree order — with the stats increment that pipeline alone
+// produced, while its trace span is still open. A caller that converts
+// increments to simulated seconds therefore lands each pipeline's cost
+// inside that pipeline's span instead of in one batch after the whole tree;
+// the increments sum exactly to the final *stats total, so batch and
+// per-pipeline charging cost the same simulated time.
+using PipelineChargeHook = std::function<void(const ExecStats& delta)>;
 
 // Materializes every view of `tree` from `root_data`, which must be the root
 // view's relation: canonical column layout, rows sorted by tree.root().order
@@ -54,6 +75,7 @@ struct ExecStats {
 // given. The result contains every tree node (auxiliaries flagged).
 CubeResult ExecuteScheduleTree(const ScheduleTree& tree, Relation root_data,
                                AggFn fn, DiskModel* disk = nullptr,
-                               ExecStats* stats = nullptr);
+                               ExecStats* stats = nullptr,
+                               const PipelineChargeHook& on_pipeline = {});
 
 }  // namespace sncube

@@ -5,8 +5,9 @@
 //
 //   router policy      RetryBudget::mu_, LoadShedder::mu_   (route decision)
 //     ↓ health         ShardHealth::mu_                     (breaker check)
-//       ↓ server       CubeServer::mu_                      (queue admission)
-//         ↓ cache      ResultCache::Shard::mu               (answer lookup)
+//       ↓ shard-set    ShardSet::mu_                        (epoch resolve)
+//         ↓ server     CubeServer::mu_                      (queue admission)
+//           ↓ cache    ResultCache::Shard::mu               (answer lookup)
 //
 // Each `k*Layer` anchor below is a Mutex that exists only to carry
 // SNCUBE_ACQUIRED_AFTER edges — nothing ever locks one. Real mutexes are
@@ -37,7 +38,8 @@ namespace sncube {
 
 inline Mutex kRouterLayer;
 inline Mutex kHealthLayer SNCUBE_ACQUIRED_AFTER(kRouterLayer);
-inline Mutex kServerLayer SNCUBE_ACQUIRED_AFTER(kHealthLayer);
+inline Mutex kShardSetLayer SNCUBE_ACQUIRED_AFTER(kHealthLayer);
+inline Mutex kServerLayer SNCUBE_ACQUIRED_AFTER(kShardSetLayer);
 inline Mutex kCacheLayer SNCUBE_ACQUIRED_AFTER(kServerLayer);
 
 }  // namespace sncube

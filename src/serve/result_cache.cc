@@ -22,14 +22,27 @@ ResultCache::ResultCache(std::size_t byte_budget, int shards)
   }
 }
 
+namespace {
+
+// Index key for one (epoch, canonical query key) pair. The epoch prefix is
+// what makes cross-epoch hits impossible by construction: requests pinned to
+// different epochs look up different index keys even for identical queries.
+std::string ComposeKey(std::uint64_t epoch, const std::string& key) {
+  return std::to_string(epoch) + '|' + key;
+}
+
+}  // namespace
+
 ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
   return *shards_[QueryKeyHash(key) % shards_.size()];
 }
 
-std::shared_ptr<const QueryAnswer> ResultCache::Get(const std::string& key) {
-  Shard& s = ShardFor(key);
+std::shared_ptr<const QueryAnswer> ResultCache::Get(const std::string& key,
+                                                    std::uint64_t epoch) {
+  const std::string composed = ComposeKey(epoch, key);
+  Shard& s = ShardFor(composed);
   MutexLock lock(s.mu);
-  const auto it = s.index.find(key);
+  const auto it = s.index.find(composed);
   if (it == s.index.end()) {
     ++s.misses;
     return nullptr;
@@ -40,15 +53,17 @@ std::shared_ptr<const QueryAnswer> ResultCache::Get(const std::string& key) {
 }
 
 void ResultCache::Put(const std::string& key,
-                      std::shared_ptr<const QueryAnswer> answer) {
-  const std::size_t bytes = CacheEntryBytes(key, *answer);
+                      std::shared_ptr<const QueryAnswer> answer,
+                      std::uint64_t epoch) {
+  std::string composed = ComposeKey(epoch, key);
+  const std::size_t bytes = CacheEntryBytes(composed, *answer);
   if (bytes > shard_budget_) return;  // would evict the whole shard for one entry
 
-  Shard& s = ShardFor(key);
+  Shard& s = ShardFor(composed);
   MutexLock lock(s.mu);
-  if (const auto it = s.index.find(key); it != s.index.end()) {
-    // Refresh in place (same key ⇒ same answer over an immutable cube, but
-    // keep the newer shared_ptr and re-account defensively).
+  if (const auto it = s.index.find(composed); it != s.index.end()) {
+    // Refresh in place (same key + epoch ⇒ same answer over an immutable
+    // snapshot, but keep the newer shared_ptr and re-account defensively).
     s.bytes -= it->second->bytes;
     it->second->answer = std::move(answer);
     it->second->bytes = bytes;
@@ -63,8 +78,8 @@ void ResultCache::Put(const std::string& key,
     s.lru.pop_back();
     ++s.evictions;
   }
-  s.lru.push_front(Entry{key, std::move(answer), bytes});
-  s.index.emplace(key, s.lru.begin());
+  s.lru.push_front(Entry{std::move(composed), epoch, std::move(answer), bytes});
+  s.index.emplace(s.lru.front().key, s.lru.begin());
   s.bytes += bytes;
   ++s.inserts;
 }
@@ -77,6 +92,25 @@ void ResultCache::Clear() {
     sp->lru.clear();
     sp->bytes = 0;
   }
+}
+
+std::uint64_t ResultCache::ClearEpoch(std::uint64_t epoch) {
+  std::uint64_t dropped = 0;
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    for (auto it = sp->lru.begin(); it != sp->lru.end();) {
+      if (it->epoch != epoch) {
+        ++it;
+        continue;
+      }
+      sp->bytes -= it->bytes;
+      sp->index.erase(it->key);
+      it = sp->lru.erase(it);
+      ++sp->invalidations;
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 CacheStats ResultCache::Stats() const {

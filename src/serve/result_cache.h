@@ -1,7 +1,15 @@
-// Sharded LRU cache of query answers.
+// Sharded LRU cache of query answers, scoped by snapshot epoch.
 //
-// The serving layer sits on top of an immutable CubeResult, so a cached
-// answer never goes stale — the only eviction pressure is the byte budget.
+// The serving layer sits on top of immutable CubeResult snapshots, so a
+// cached answer never goes stale *within its epoch* — the only eviction
+// pressure is the byte budget. Online refresh (src/refresh) introduces new
+// epochs under live traffic: every entry is stamped with the epoch it was
+// computed against, a lookup hits only entries of the requested epoch, and
+// retiring an epoch invalidates exactly that epoch's entries (ClearEpoch)
+// rather than flushing the whole cache. During a swap window both epochs'
+// entries coexist; a request pinned to epoch E can never observe an answer
+// computed at E' != E.
+//
 // The cache is split into S independent shards (shard = stable hash of the
 // canonical query key, see query_key.h), each with its own mutex, LRU list,
 // and slice of the byte budget, so concurrent lookups on different shards
@@ -47,14 +55,17 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  // Returns the cached answer for `key`, or nullptr on miss. A hit promotes
-  // the entry to most-recently-used.
-  std::shared_ptr<const QueryAnswer> Get(const std::string& key);
+  // Returns the cached answer for `key` at `epoch`, or nullptr on miss. A
+  // hit promotes the entry to most-recently-used. Entries of other epochs
+  // never hit, whatever their key.
+  std::shared_ptr<const QueryAnswer> Get(const std::string& key,
+                                         std::uint64_t epoch = 0);
 
-  // Inserts (or refreshes) `answer` under `key`, evicting LRU entries of the
-  // same shard until the shard fits its budget slice. Oversized answers are
-  // dropped silently.
-  void Put(const std::string& key, std::shared_ptr<const QueryAnswer> answer);
+  // Inserts (or refreshes) `answer` under (`key`, `epoch`), evicting LRU
+  // entries of the same shard until the shard fits its budget slice.
+  // Oversized answers are dropped silently.
+  void Put(const std::string& key, std::shared_ptr<const QueryAnswer> answer,
+           std::uint64_t epoch = 0);
 
   // Drops every resident entry (counted in CacheStats::invalidations) while
   // leaving the hit/miss history intact. The serving tier calls this when a
@@ -62,6 +73,13 @@ class ResultCache {
   // would otherwise be served stale. Outstanding shared_ptr references stay
   // valid; concurrent Get/Put simply miss/refill.
   void Clear();
+
+  // Drops exactly the entries stamped with `epoch` (counted in
+  // CacheStats::invalidations) and returns how many were dropped. The
+  // serving tier calls this when a snapshot epoch retires after a refresh
+  // swap: other epochs' entries — including the newly installed epoch's —
+  // stay resident.
+  std::uint64_t ClearEpoch(std::uint64_t epoch);
 
   // Aggregated counters across shards (consistent per shard, not globally
   // atomic — fine for monitoring).
@@ -72,7 +90,8 @@ class ResultCache {
 
  private:
   struct Entry {
-    std::string key;
+    std::string key;  // epoch-composed index key (see ComposeKey)
+    std::uint64_t epoch = 0;
     std::shared_ptr<const QueryAnswer> answer;
     std::size_t bytes = 0;
   };

@@ -16,7 +16,11 @@ RouterOutcome MapOutcome(TryOutcome o) {
     case TryOutcome::kError: return RouterOutcome::kFailed;
     case TryOutcome::kTimedOut: return RouterOutcome::kTimedOut;
     case TryOutcome::kRejected:
-    case TryOutcome::kShardDown: return RouterOutcome::kUnavailable;
+    case TryOutcome::kShardDown:
+    // The pinned epoch retired mid-request (a long-stalled request outlived
+    // two refresh swaps). No shard still hosts it, so it surfaces as
+    // unavailability — the client re-issues and pins the current epoch.
+    case TryOutcome::kEpochGone: return RouterOutcome::kUnavailable;
   }
   return RouterOutcome::kFailed;
 }
@@ -103,7 +107,7 @@ void Router::ProbeShards() {
 
 TryResult Router::TryOnce(int preferred, int other, int slice,
                           const Query& sub, std::uint64_t seq,
-                          int* shard_tried) {
+                          std::uint64_t epoch, int* shard_tried) {
   *shard_tried = -1;
   const std::uint64_t now = clock_.NowMicros();
   int target = -1;
@@ -115,7 +119,7 @@ TryResult Router::TryOnce(int preferred, int other, int slice,
   }
   if (target < 0) return TryResult{};  // both holders breaker-gated
   *shard_tried = target;
-  TryResult res = shards_.ExecuteOnShard(target, slice, sub, seq);
+  TryResult res = shards_.ExecuteOnShard(target, slice, sub, seq, epoch);
   if (options_.per_try_us > 0 && res.outcome == TryOutcome::kOk &&
       res.latency_us > options_.per_try_us) {
     // Per-try deadline: the answer arrived too late to count. Discarding a
@@ -127,7 +131,8 @@ TryResult Router::TryOnce(int preferred, int other, int slice,
 }
 
 TryResult Router::ExecuteSliceWithPolicy(int slice, const Query& sub,
-                                         std::uint64_t seq, int* tries) {
+                                         std::uint64_t seq,
+                                         std::uint64_t epoch, int* tries) {
   const int primary = shards_.PrimaryShardOf(slice);
   const int replica = shards_.ReplicaShardOf(slice);
   TryResult last;
@@ -147,7 +152,7 @@ TryResult Router::ExecuteSliceWithPolicy(int slice, const Query& sub,
     const int preferred = (attempt % 2 == 0) ? primary : replica;
     const int other = (attempt % 2 == 0) ? replica : primary;
     int tried = -1;
-    TryResult res = TryOnce(preferred, other, slice, sub, seq, &tried);
+    TryResult res = TryOnce(preferred, other, slice, sub, seq, epoch, &tried);
     if (tried < 0) {
       // Nothing was sent: both holders' breakers refused. That is pressure
       // (the tier is failing work fast); backoff may outlast a cooldown.
@@ -175,7 +180,8 @@ TryResult Router::ExecuteSliceWithPolicy(int slice, const Query& sub,
               budget_.TrySpend()) {
             hedges_.fetch_add(1, std::memory_order_relaxed);
             ++*tries;
-            TryResult hr = shards_.ExecuteOnShard(hedge_target, slice, sub, seq);
+            TryResult hr =
+                shards_.ExecuteOnShard(hedge_target, slice, sub, seq, epoch);
             if (options_.per_try_us > 0 && hr.outcome == TryOutcome::kOk &&
                 hr.latency_us > options_.per_try_us) {
               hr.outcome = TryOutcome::kTimedOut;
@@ -201,6 +207,12 @@ TryResult Router::ExecuteSliceWithPolicy(int slice, const Query& sub,
         // shard, non-retryable error.
         health_[static_cast<std::size_t>(tried)]->OnSuccess(now);
         return res;
+      case TryOutcome::kEpochGone:
+        // The pinned epoch is retired everywhere — retrying any copy gives
+        // the same answer, and the shard itself responded promptly, so this
+        // must not trip the breaker (refresh churn is not shard illness).
+        health_[static_cast<std::size_t>(tried)]->OnSuccess(now);
+        return res;
       case TryOutcome::kRejected:
       case TryOutcome::kTimedOut:
       case TryOutcome::kShardDown:
@@ -222,6 +234,11 @@ RouterResult Router::Execute(const Query& query) {
   }
   const std::uint64_t t0 = clock_.NowMicros();
   RouterResult out;
+  // The request's epoch pin: read ONCE, then used for routing and every
+  // shard try. A refresh finalize that lands after this line affects only
+  // later requests — this one runs entirely against its pinned snapshot.
+  const std::uint64_t epoch = shards_.serving_epoch();
+  out.epoch = epoch;
 
   const auto account = [&] {
     const std::uint64_t elapsed = clock_.NowMicros() - t0;
@@ -252,7 +269,7 @@ RouterResult Router::Execute(const Query& query) {
 
   ViewId view;
   try {
-    view = shards_.RouteOnFull(query);
+    view = shards_.RouteOnFull(query, epoch);
   } catch (const SncubeError&) {
     out.outcome = RouterOutcome::kFailed;
     account();
@@ -296,7 +313,8 @@ RouterResult Router::Execute(const Query& query) {
   // prove this line is load-bearing.
   if (out.scatter ? options_.pin_scatter_view : true) sub.from_view = view;
   if (!out.scatter) {
-    const TryResult r = ExecuteSliceWithPolicy(slice, sub, seq, &out.tries);
+    const TryResult r =
+        ExecuteSliceWithPolicy(slice, sub, seq, epoch, &out.tries);
     out.outcome = MapOutcome(r.outcome);
     if (r.outcome == TryOutcome::kOk) out.answer = r.answer;
   } else {
@@ -307,7 +325,8 @@ RouterResult Router::Execute(const Query& query) {
     std::uint64_t scanned = 0;
     out.outcome = RouterOutcome::kOk;
     for (int sl = 0; sl < shards_.shards(); ++sl) {
-      const TryResult r = ExecuteSliceWithPolicy(sl, sub, seq, &out.tries);
+      const TryResult r =
+          ExecuteSliceWithPolicy(sl, sub, seq, epoch, &out.tries);
       if (r.outcome != TryOutcome::kOk) {
         // All-or-nothing: a partial scatter answer would silently drop the
         // failed slice's facts — the one wrong-answer mode this tier must

@@ -87,6 +87,11 @@ struct RouterResult {
   std::shared_ptr<const QueryAnswer> answer;  // non-null iff kOk
   bool scatter = false;  // true when the query fanned out to all slices
   int tries = 0;         // shard tries actually issued (incl. hedges)
+  // The snapshot epoch this request was pinned to — read once from
+  // ShardSet::serving_epoch() at entry and used for routing and EVERY shard
+  // try, so a kOk answer is entirely from this one epoch even when a refresh
+  // swap lands mid-request.
+  std::uint64_t epoch = 0;
 };
 
 // Point-in-time router counters, printable as JSON.
@@ -142,13 +147,15 @@ class Router {
  private:
   // Runs one slice sub-query through breaker gating, retries, backoff, and
   // hedging. Returns the final TryResult (kOk or the last typed failure).
+  // Every try executes against `epoch` — the pin made at Execute entry.
   TryResult ExecuteSliceWithPolicy(int slice, const Query& sub,
-                                   std::uint64_t seq, int* tries);
+                                   std::uint64_t seq, std::uint64_t epoch,
+                                   int* tries);
   // One policy-visible try: breaker-gated target selection plus the
   // per-try deadline. Returns the shard actually tried in *shard_tried
   // (-1 when both holders' breakers refused).
   TryResult TryOnce(int preferred, int other, int slice, const Query& sub,
-                    std::uint64_t seq, int* shard_tried);
+                    std::uint64_t seq, std::uint64_t epoch, int* shard_tried);
 
   ShardSet& shards_;
   const RouterOptions options_;

@@ -133,12 +133,12 @@ void CubeServer::Process(Request& req) {
   bool execution_failed = false;
   {
     SNCUBE_TRACE_SPAN("cache-lookup");
-    answer = cache_.Get(req.key);
+    answer = cache_.Get(req.key, options_.epoch);
   }
   if (answer == nullptr) {
     try {
       answer = std::make_shared<const QueryAnswer>(engine_.Execute(req.query));
-      cache_.Put(req.key, answer);
+      cache_.Put(req.key, answer, options_.epoch);
     } catch (const SncubeError&) {
       execution_failed = true;  // e.g. no materialized view covers the query
     }

@@ -67,6 +67,10 @@ struct ServerOptions {
   // here when it retires at Shutdown. The sink must outlive the server.
   // Null (the default) keeps the hot path trace-free.
   obs::TraceSink* trace = nullptr;
+  // Snapshot epoch this server's cube belongs to (src/refresh). Every cache
+  // entry is stamped with it, so a shared or recycled ResultCache can never
+  // serve this epoch's answers to a request pinned to another epoch.
+  std::uint64_t epoch = 0;
   // Test-only: runs on the worker thread after the dequeue deadline check
   // passes and before the cache lookup / query execution. Lets tests hold a
   // request in flight deterministically (e.g. to pin the

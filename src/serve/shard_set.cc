@@ -65,6 +65,7 @@ const char* TryOutcomeName(TryOutcome o) {
     case TryOutcome::kRejected: return "rejected";
     case TryOutcome::kTimedOut: return "timed_out";
     case TryOutcome::kShardDown: return "shard_down";
+    case TryOutcome::kEpochGone: return "epoch_gone";
   }
   return "unknown";
 }
@@ -73,9 +74,7 @@ ShardSet::ShardSet(const CubeResult& cube, const ShardSetOptions& options,
                    const FaultPlan& plan)
     : n_(options.shards),
       options_(options),
-      full_engine_(cube),
       clock_(options.clock != nullptr ? options.clock : &wall_clock_),
-      slices_(PartitionCubeForServing(cube, options.shards)),
       kills_(static_cast<std::size_t>(options.shards)),
       slows_(static_cast<std::size_t>(options.shards)) {
   SNCUBE_CHECK(n_ >= 1);
@@ -99,10 +98,6 @@ ShardSet::ShardSet(const CubeResult& cube, const ShardSetOptions& options,
   hosted_.reserve(static_cast<std::size_t>(n_));
   for (int s = 0; s < n_; ++s) {
     auto hs = std::make_unique<HostedShard>();
-    hs->primary = std::make_unique<CubeServer>(
-        slices_[static_cast<std::size_t>(s)], options_.server);
-    hs->replica = std::make_unique<CubeServer>(
-        slices_[static_cast<std::size_t>((s - 1 + n_) % n_)], options_.server);
     // A finite kill window owes exactly one restart invalidation when it
     // closes; an endless one never restarts.
     const auto& kw = kills_[static_cast<std::size_t>(s)];
@@ -110,34 +105,165 @@ ShardSet::ShardSet(const CubeResult& cube, const ShardSetOptions& options,
                               std::memory_order_relaxed);
     hosted_.push_back(std::move(hs));
   }
+  // The construction-time cube is epoch 0, borrowed like every pre-refresh
+  // caller expects.
+  auto st = BuildEpochState(0, nullptr, cube);
+  MutexLock lock(mu_);
+  epochs_.emplace(0, std::move(st));
 }
 
 ShardSet::~ShardSet() { Shutdown(); }
 
+std::shared_ptr<ShardSet::EpochState> ShardSet::BuildEpochState(
+    std::uint64_t epoch, std::shared_ptr<const CubeResult> owned,
+    const CubeResult& full) {
+  auto st = std::make_shared<EpochState>();
+  st->epoch = epoch;
+  st->owned = std::move(owned);
+  st->full = &full;
+  st->engine = std::make_unique<CubeQueryEngine>(full);
+  st->slices = PartitionCubeForServing(full, n_);
+  ServerOptions server = options_.server;
+  server.epoch = epoch;
+  st->copies.resize(static_cast<std::size_t>(n_));
+  for (int s = 0; s < n_; ++s) {
+    auto& copy = st->copies[static_cast<std::size_t>(s)];
+    copy.primary = std::make_unique<CubeServer>(
+        st->slices[static_cast<std::size_t>(s)], server);
+    copy.replica = std::make_unique<CubeServer>(
+        st->slices[static_cast<std::size_t>((s - 1 + n_) % n_)], server);
+  }
+  return st;
+}
+
+std::shared_ptr<ShardSet::EpochState> ShardSet::StateFor(
+    std::uint64_t epoch) const {
+  MutexLock lock(mu_);
+  const auto it = epochs_.find(epoch);
+  return it == epochs_.end() ? nullptr : it->second;
+}
+
+void ShardSet::PrepareEpoch(std::uint64_t epoch,
+                            std::shared_ptr<const CubeResult> cube) {
+  SNCUBE_CHECK_MSG(cube != nullptr, "PrepareEpoch needs a cube");
+  SNCUBE_CHECK_MSG(epoch > serving_epoch(),
+                   "refresh epochs must advance monotonically");
+  const CubeResult& full = *cube;
+  // Partitioning and server spin-up happen outside the lock — a prepare can
+  // be expensive and must not stall the request path's epoch resolution.
+  auto st = BuildEpochState(epoch, std::move(cube), full);
+  MutexLock lock(mu_);
+  const bool inserted = epochs_.emplace(epoch, std::move(st)).second;
+  SNCUBE_CHECK_MSG(inserted, "epoch already prepared");
+}
+
+void ShardSet::CommitShard(std::uint64_t epoch, int shard) {
+  SNCUBE_CHECK(shard >= 0 && shard < n_);
+  SNCUBE_CHECK_MSG(StateFor(epoch) != nullptr, "commit of unprepared epoch");
+  hosted_[static_cast<std::size_t>(shard)]->shard_epoch.store(
+      epoch, std::memory_order_release);
+}
+
+void ShardSet::FinalizeEpoch(std::uint64_t epoch) {
+  std::vector<std::shared_ptr<EpochState>> retired;
+  {
+    MutexLock lock(mu_);
+    SNCUBE_CHECK_MSG(epochs_.find(epoch) != epochs_.end(),
+                     "finalize of unprepared epoch");
+    // Keep `epoch` and its immediate predecessor: requests that pinned the
+    // old serving epoch just before the flip are still in flight and must
+    // drain against live servers. Anything older has had a full finalize
+    // cycle to drain and retires now.
+    for (auto it = epochs_.begin(); it != epochs_.end();) {
+      if (it->first + 1 < epoch) {
+        retired.push_back(std::move(it->second));
+        it = epochs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    serving_epoch_.store(epoch, std::memory_order_release);
+  }
+  // Shutdown drains outside the lock (it blocks on worker quiescence, and
+  // the request path needs mu_ to resolve epochs meanwhile).
+  for (const auto& st : retired) {
+    for (const auto& copy : st->copies) {
+      copy.primary->Shutdown();
+      copy.replica->Shutdown();
+    }
+  }
+}
+
+void ShardSet::AbandonEpoch(std::uint64_t epoch) {
+  SNCUBE_CHECK_MSG(epoch != serving_epoch(),
+                   "cannot abandon the serving epoch");
+  std::shared_ptr<EpochState> st;
+  {
+    MutexLock lock(mu_);
+    const auto it = epochs_.find(epoch);
+    if (it == epochs_.end()) return;  // idempotent: abort paths may race
+    st = std::move(it->second);
+    epochs_.erase(it);
+  }
+  for (const auto& copy : st->copies) {
+    copy.primary->Shutdown();
+    copy.replica->Shutdown();
+  }
+}
+
+std::vector<std::uint64_t> ShardSet::HostedEpochs() const {
+  std::vector<std::uint64_t> out;
+  MutexLock lock(mu_);
+  out.reserve(epochs_.size());
+  for (const auto& [e, st] : epochs_) out.push_back(e);
+  return out;
+}
+
+ViewId ShardSet::RouteOnFull(const Query& query, std::uint64_t epoch) const {
+  const auto st = StateFor(epoch);
+  if (st == nullptr) {
+    throw SncubeError("route against retired epoch " + std::to_string(epoch));
+  }
+  return st->engine->Route(query);
+}
+
 void ShardSet::Shutdown() {
-  for (auto& hs : hosted_) {
-    hs->primary->Shutdown();
-    hs->replica->Shutdown();
+  std::vector<std::shared_ptr<EpochState>> states;
+  {
+    MutexLock lock(mu_);
+    states.reserve(epochs_.size());
+    for (const auto& [e, st] : epochs_) states.push_back(st);
+  }
+  for (const auto& st : states) {
+    for (const auto& copy : st->copies) {
+      copy.primary->Shutdown();
+      copy.replica->Shutdown();
+    }
   }
 }
 
 const CubeServer& ShardSet::primary_server(int slice) const {
   SNCUBE_CHECK(slice >= 0 && slice < n_);
-  return *hosted_[static_cast<std::size_t>(slice)]->primary;
+  const auto st = StateFor(serving_epoch());
+  SNCUBE_CHECK(st != nullptr);
+  // The serving epoch's state outlives this reference: it is retired (and
+  // destroyed) no earlier than the finalize AFTER it stops serving.
+  return *st->copies[static_cast<std::size_t>(slice)].primary;
 }
 
 const CubeServer& ShardSet::replica_server(int slice) const {
   SNCUBE_CHECK(slice >= 0 && slice < n_);
-  return *hosted_[static_cast<std::size_t>(ReplicaShardOf(slice))]->replica;
+  const auto st = StateFor(serving_epoch());
+  SNCUBE_CHECK(st != nullptr);
+  return *st->copies[static_cast<std::size_t>(ReplicaShardOf(slice))].replica;
 }
 
-CubeServer* ShardSet::ServerFor(int shard, int slice) {
-  SNCUBE_CHECK(shard >= 0 && shard < n_ && slice >= 0 && slice < n_);
-  HostedShard& hs = *hosted_[static_cast<std::size_t>(shard)];
-  if (slice == shard) return hs.primary.get();
-  SNCUBE_CHECK_MSG(shard == ReplicaShardOf(slice),
-                   "shard does not host this slice");
-  return hs.replica.get();
+CubeServer* ShardSet::ServerIn(EpochState& st, int shard, int slice, int n) {
+  SNCUBE_CHECK(shard >= 0 && shard < n && slice >= 0 && slice < n);
+  auto& copy = st.copies[static_cast<std::size_t>(shard)];
+  if (slice == shard) return copy.primary.get();
+  SNCUBE_CHECK_MSG(shard == (slice + 1) % n, "shard does not host this slice");
+  return copy.replica.get();
 }
 
 bool ShardSet::Killed(int shard, std::uint64_t seq) const {
@@ -154,12 +280,22 @@ void ShardSet::MaybeRestart(int shard, std::uint64_t seq) {
   const auto& w = kills_[static_cast<std::size_t>(shard)];
   if (!w.has || w.until == FaultPlan::kNoEnd || seq < w.until) return;
   HostedShard& hs = *hosted_[static_cast<std::size_t>(shard)];
-  // Exactly one caller wins the exchange and clears both hosted caches —
-  // the restarted process comes back cold, so answers cached against the
-  // pre-restart snapshot can never be served stale.
+  // Exactly one caller wins the exchange and clears the shard's hosted
+  // caches across EVERY resident epoch — the restarted process comes back
+  // cold, so answers cached against any pre-restart snapshot can never be
+  // served stale.
   if (hs.restart_pending.exchange(false, std::memory_order_acq_rel)) {
-    hs.primary->InvalidateCache();
-    hs.replica->InvalidateCache();
+    std::vector<std::shared_ptr<EpochState>> states;
+    {
+      MutexLock lock(mu_);
+      states.reserve(epochs_.size());
+      for (const auto& [e, st] : epochs_) states.push_back(st);
+    }
+    for (const auto& st : states) {
+      auto& copy = st->copies[static_cast<std::size_t>(shard)];
+      copy.primary->InvalidateCache();
+      copy.replica->InvalidateCache();
+    }
   }
 }
 
@@ -170,7 +306,7 @@ bool ShardSet::Ping(int shard, std::uint64_t seq) {
 }
 
 TryResult ShardSet::ExecuteOnShard(int shard, int slice, const Query& query,
-                                   std::uint64_t seq) {
+                                   std::uint64_t seq, std::uint64_t epoch) {
   MaybeRestart(shard, seq);
   TryResult res;
   const std::uint64_t t0 = clock_->NowMicros();
@@ -182,13 +318,34 @@ TryResult ShardSet::ExecuteOnShard(int shard, int slice, const Query& query,
     return res;
   }
 
-  CubeServer* server = ServerFor(shard, slice);
+  // Epoch resolution. Pinned (production) mode honors the router's choice:
+  // every sub-query of a request answers from the same snapshot, and a
+  // retired pin is a typed failure, never another epoch's data. The
+  // pin_epoch=false test hole reproduces the naive single-phase swap: each
+  // shard answers from whatever IT last committed, so a scatter that spans a
+  // half-committed swap blends two snapshots — the violation the refresh
+  // chaos harness exists to catch.
+  const std::uint64_t effective =
+      options_.pin_epoch
+          ? epoch
+          : hosted_[static_cast<std::size_t>(shard)]->shard_epoch.load(
+                std::memory_order_acquire);
+  // Holding the shared_ptr keeps the epoch's servers alive across the wait
+  // even if the epoch retires mid-request.
+  const std::shared_ptr<EpochState> st = StateFor(effective);
+  if (st == nullptr) {
+    res.outcome = TryOutcome::kEpochGone;
+    res.latency_us = clock_->NowMicros() - t0;
+    return res;
+  }
+
+  CubeServer* server = ServerIn(*st, shard, slice, n_);
   Mutex mu;
   CondVar cv;
   bool ready = false;
   QueryOutcome qo = QueryOutcome::kFailed;
   std::shared_ptr<const QueryAnswer> answer;
-  const SubmitStatus st = server->Submit(
+  const SubmitStatus sub = server->Submit(
       query, [&](std::shared_ptr<const QueryAnswer> a, QueryOutcome o) {
         MutexLock lock(mu);
         answer = std::move(a);
@@ -196,12 +353,12 @@ TryResult ShardSet::ExecuteOnShard(int shard, int slice, const Query& query,
         ready = true;
         cv.NotifyOne();
       });
-  if (st == SubmitStatus::kRejected) {
+  if (sub == SubmitStatus::kRejected) {
     res.outcome = TryOutcome::kRejected;
     res.latency_us = clock_->NowMicros() - t0;
     return res;
   }
-  if (st == SubmitStatus::kShutdown) {
+  if (sub == SubmitStatus::kShutdown) {
     res.outcome = TryOutcome::kShardDown;
     res.latency_us = clock_->NowMicros() - t0;
     return res;

@@ -17,6 +17,17 @@
 // count facts. The router therefore pins Query::from_view on every
 // sub-query; this file is where that requirement comes from.
 //
+// EPOCHS (online refresh, src/refresh): the set hosts one or more immutable
+// snapshot EPOCHS of the cube at once. Epoch 0 is the construction-time
+// cube; RefreshCoordinator installs successors via the two-phase surface
+// below (PrepareEpoch → CommitShard per shard → FinalizeEpoch). Every
+// request is pinned to one epoch — the router reads serving_epoch() once at
+// entry and passes it to every sub-query — so a scatter can never mix rows
+// from two snapshots even while a swap is in flight. The previous epoch's
+// copies are retained until the NEXT finalize so requests that pinned it
+// mid-swap drain gracefully; a request whose pinned epoch has since retired
+// fails typed (kEpochGone), never with another epoch's data.
+//
 // Placement is replication factor 2 over N shard "nodes": shard s hosts the
 // PRIMARY copy of slice s and a REPLICA of slice (s-1+N)%N, so slice k can
 // be served by shards k and (k+1)%N. Every hosted copy is its own
@@ -30,18 +41,23 @@
 // ServeClock for (factor-1)·max(virtual elapsed, nominal_service_us) —
 // virtual quantities only, so under a ManualServeClock a faulted run is a
 // deterministic function of the plan. When a kill window closes the shard
-// comes back with cold caches (restart semantics): both hosted servers'
-// result caches are invalidated before the first post-window request.
+// comes back with cold caches (restart semantics): every hosted copy's
+// result cache, across all resident epochs, is invalidated before the
+// first post-window request.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 #include "query/engine.h"
 #include "seqcube/cube_result.h"
+#include "serve/lock_order.h"
 #include "serve/retry_policy.h"
 #include "serve/server.h"
 
@@ -66,6 +82,13 @@ struct ShardSetOptions {
   std::uint64_t nominal_service_us = 200;
   // Borrowed; must outlive the ShardSet. Null = internal wall clock.
   ServeClock* clock = nullptr;
+  // Test-only escape hatch for the refresh chaos harness: when false,
+  // ExecuteOnShard IGNORES the router-pinned epoch and answers from the
+  // shard's own current epoch (whatever was last committed to that shard) —
+  // the data-plane bug a naive single-phase swap has. Mid-swap scatters then
+  // blend two snapshots, which `sncube chaos --refresh` must catch.
+  // Production code never clears this.
+  bool pin_epoch = true;
 };
 
 // How one try against one shard ended, as the router's policy layer sees it.
@@ -76,6 +99,9 @@ enum class TryOutcome : std::uint8_t {
   kRejected,   // shard queue full — overload pressure, retryable elsewhere
   kTimedOut,   // shard-side deadline expired — retryable
   kShardDown,  // fault-injected kill window (or shut down) — retryable
+  kEpochGone,  // the request's pinned epoch is no longer hosted — the
+               // snapshot retired mid-request; not retryable (every shard
+               // retired it), the client re-issues and pins the new epoch
 };
 
 const char* TryOutcomeName(TryOutcome o);
@@ -89,8 +115,8 @@ struct TryResult {
 class ShardSet {
  public:
   // The cube must outlive the ShardSet and stay immutable (the usual
-  // CubeResult serving contract). Serve-tier clauses of `plan` must target
-  // shards < options.shards.
+  // CubeResult serving contract); it becomes epoch 0. Serve-tier clauses of
+  // `plan` must target shards < options.shards.
   ShardSet(const CubeResult& cube, const ShardSetOptions& options,
            const FaultPlan& plan = {});
   ~ShardSet();
@@ -102,17 +128,52 @@ class ShardSet {
   int PrimaryShardOf(int slice) const { return slice; }
   int ReplicaShardOf(int slice) const { return (slice + 1) % n_; }
 
-  // Routing over the FULL cube — all slices must agree on the answering
-  // view, so the choice is made against the unpartitioned row counts.
-  // Throws SncubeError when no materialized view covers the query.
-  ViewId RouteOnFull(const Query& query) const { return full_engine_.Route(query); }
+  // The epoch new requests pin. Advances exactly at FinalizeEpoch — the
+  // in-memory mirror of the snapshot store's sealed commit record.
+  std::uint64_t serving_epoch() const {
+    return serving_epoch_.load(std::memory_order_acquire);
+  }
 
-  // Executes `query` against slice `slice`'s copy hosted on `shard` (must
-  // be its primary or replica holder). `seq` is the router request sequence
-  // number driving the fault windows. Synchronous; applies kill/slow faults
-  // and restart cache invalidation.
+  // Routing over the FULL cube of `epoch` — all slices must agree on the
+  // answering view, so the choice is made against the unpartitioned row
+  // counts of the same snapshot the scatter will execute on. Throws
+  // SncubeError when no materialized view covers the query or the epoch has
+  // retired.
+  ViewId RouteOnFull(const Query& query, std::uint64_t epoch) const;
+  ViewId RouteOnFull(const Query& query) const {
+    return RouteOnFull(query, serving_epoch());
+  }
+
+  // ---- Two-phase swap surface (driven by refresh::RefreshCoordinator) ----
+  //
+  // PrepareEpoch builds and hosts the new epoch's slices and servers
+  // WITHOUT serving them: requests keep pinning the old epoch. CommitShard
+  // marks one shard's node as having adopted the epoch (bookkeeping in
+  // pinned mode; the serving epoch in the pin_epoch=false test hole).
+  // FinalizeEpoch atomically flips serving_epoch() to `epoch` and retires
+  // every epoch older than the immediately preceding one (ClearEpoch-style
+  // per-epoch cache invalidation happens by construction: each epoch's
+  // servers die with it). AbandonEpoch drops a prepared-but-uncommitted
+  // epoch after an aborted refresh.
+  void PrepareEpoch(std::uint64_t epoch,
+                    std::shared_ptr<const CubeResult> cube);
+  void CommitShard(std::uint64_t epoch, int shard);
+  void FinalizeEpoch(std::uint64_t epoch);
+  void AbandonEpoch(std::uint64_t epoch);
+
+  // Epochs currently hosted (ascending). Monitoring + tests.
+  std::vector<std::uint64_t> HostedEpochs() const;
+
+  // Executes `query` against slice `slice`'s copy of `epoch` hosted on
+  // `shard` (must be its primary or replica holder). `seq` is the router
+  // request sequence number driving the fault windows. Synchronous; applies
+  // kill/slow faults and restart cache invalidation.
   TryResult ExecuteOnShard(int shard, int slice, const Query& query,
-                           std::uint64_t seq);
+                           std::uint64_t seq, std::uint64_t epoch);
+  TryResult ExecuteOnShard(int shard, int slice, const Query& query,
+                           std::uint64_t seq) {
+    return ExecuteOnShard(shard, slice, query, seq, serving_epoch());
+  }
 
   // Health probe: is the shard reachable at `seq`? Applies restart
   // invalidation exactly like a request, but does no query work.
@@ -120,21 +181,40 @@ class ShardSet {
 
   ServeClock& clock() { return *clock_; }
 
-  // The hosted servers, for stats export. Shard s hosts
+  // The SERVING epoch's hosted servers, for stats export. Shard s hosts
   // primary_server(s) (slice s) and replica_server((s-1+N)%N).
   const CubeServer& primary_server(int slice) const;
   const CubeServer& replica_server(int slice) const;
 
-  // Drains every hosted server. Idempotent; the destructor calls it.
+  // Drains every hosted server of every resident epoch. Idempotent; the
+  // destructor calls it.
   void Shutdown();
 
  private:
+  // One immutable snapshot epoch: the full cube (owned for refresh-produced
+  // epochs, borrowed for epoch 0), its routing engine, its N slices, and a
+  // (primary, replica) CubeServer pair per shard node. Handed out as
+  // shared_ptr so a retire cannot destroy state under an in-flight request.
+  struct EpochState {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const CubeResult> owned;  // null for the borrowed epoch 0
+    const CubeResult* full = nullptr;
+    std::unique_ptr<CubeQueryEngine> engine;
+    std::vector<CubeResult> slices;  // immutable once servers exist
+    struct Copy {
+      std::unique_ptr<CubeServer> primary;  // slice == shard index
+      std::unique_ptr<CubeServer> replica;  // slice == (shard-1+N)%N
+    };
+    std::vector<Copy> copies;  // one per shard node
+  };
   struct HostedShard {
-    std::unique_ptr<CubeServer> primary;  // slice == shard index
-    std::unique_ptr<CubeServer> replica;  // slice == (shard-1+N)%N
     // True while a finite kill window for this shard has not yet produced
     // its restart invalidation. Cleared exactly once (exchange).
     std::atomic<bool> restart_pending{false};
+    // The epoch this node considers current (advanced by CommitShard).
+    // Consulted only by the pin_epoch=false test hole; in pinned mode the
+    // router-pinned epoch governs.
+    std::atomic<std::uint64_t> shard_epoch{0};
   };
   struct KillWindow {
     bool has = false;
@@ -148,7 +228,13 @@ class ShardSet {
     double factor = 1.0;
   };
 
-  CubeServer* ServerFor(int shard, int slice);
+  // Builds a fully-wired EpochState (slices, engine, servers). No locks.
+  std::shared_ptr<EpochState> BuildEpochState(
+      std::uint64_t epoch, std::shared_ptr<const CubeResult> owned,
+      const CubeResult& full);
+  // nullptr when the epoch is not hosted.
+  std::shared_ptr<EpochState> StateFor(std::uint64_t epoch) const;
+  static CubeServer* ServerIn(EpochState& st, int shard, int slice, int n);
   bool Killed(int shard, std::uint64_t seq) const;
   double SlowFactor(int shard, std::uint64_t seq) const;
   // Performs the once-only post-kill-window cache invalidation.
@@ -156,11 +242,17 @@ class ShardSet {
 
   const int n_;
   ShardSetOptions options_;
-  CubeQueryEngine full_engine_;
   WallServeClock wall_clock_;
   ServeClock* clock_;
-  std::vector<CubeResult> slices_;  // immutable once servers exist
-  std::vector<std::unique_ptr<HostedShard>> hosted_;
+  std::atomic<std::uint64_t> serving_epoch_{0};
+  // Guards the epoch map only — never held across a server Submit or a
+  // state build/teardown. Sits between the health and server layers of the
+  // serve lock hierarchy (serve/lock_order.h).
+  mutable Mutex mu_ SNCUBE_ACQUIRED_AFTER(kShardSetLayer)
+      SNCUBE_ACQUIRED_BEFORE(kServerLayer);
+  std::map<std::uint64_t, std::shared_ptr<EpochState>> epochs_
+      SNCUBE_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<HostedShard>> hosted_;  // per-shard fault state
   std::vector<KillWindow> kills_;
   std::vector<SlowWindow> slows_;
 };

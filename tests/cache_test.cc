@@ -122,6 +122,97 @@ TEST(ResultCacheConcurrency, MixedTrafficWithPeriodicClearIsRaceFree) {
   EXPECT_EQ(s.entries, s.inserts - s.evictions - s.invalidations);
 }
 
+// --------------------------------------------------------------------------
+// Epoch scoping (online refresh, src/refresh): entries are stamped with the
+// snapshot epoch they were computed against; lookups hit only their own
+// epoch and retirement invalidates per-epoch, not globally.
+
+TEST(ResultCacheEpoch, LookupsNeverCrossEpochs) {
+  ResultCache cache(1 << 20, 4);
+  cache.Put("q", MakeAnswer(2, 4, /*salt=*/0), /*epoch=*/0);
+  cache.Put("q", MakeAnswer(2, 4, /*salt=*/1000), /*epoch=*/1);
+
+  const auto old_hit = cache.Get("q", 0);
+  const auto new_hit = cache.Get("q", 1);
+  ASSERT_NE(old_hit, nullptr);
+  ASSERT_NE(new_hit, nullptr);
+  EXPECT_EQ(old_hit->rel.key(0, 0), static_cast<Key>(0));
+  EXPECT_EQ(new_hit->rel.key(0, 0), static_cast<Key>(1000));
+  // An epoch nothing was cached at misses, whatever the key.
+  EXPECT_EQ(cache.Get("q", 2), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(ResultCacheEpoch, ClearEpochDropsExactlyThatEpoch) {
+  ResultCache cache(1 << 20, 4);
+  for (int i = 0; i < 6; ++i) {
+    cache.Put("k" + std::to_string(i), MakeAnswer(2, 4), /*epoch=*/0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    cache.Put("k" + std::to_string(i), MakeAnswer(2, 4), /*epoch=*/1);
+  }
+  ASSERT_EQ(cache.Stats().entries, 10u);
+
+  EXPECT_EQ(cache.ClearEpoch(0), 6u);
+
+  const CacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 4u);
+  EXPECT_EQ(s.invalidations, 6u);
+  EXPECT_EQ(cache.Get("k2", 0), nullptr);   // old epoch gone
+  EXPECT_NE(cache.Get("k2", 1), nullptr);   // new epoch untouched
+  EXPECT_EQ(cache.ClearEpoch(0), 0u);       // idempotent once drained
+}
+
+// The swap-window invariant, concurrently: readers pinned to the old and the
+// new epoch run mixed traffic while a swapper retires the old epoch. A hit
+// must always carry the payload of the reader's own epoch — never the other
+// one — and TSan must see no races between epoch-tagged Get/Put and
+// ClearEpoch's selective walk. Answers are salted by epoch so a stale-epoch
+// hit is detectable from the payload alone.
+TEST(ResultCacheEpochConcurrency, MixedTrafficAcrossSwapNeverHitsStaleEpoch) {
+  ResultCache cache(64 << 10, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 3000;
+  constexpr Key kSaltStride = 1000;
+  std::atomic<std::uint64_t> stale_hits{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 77);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // First half of the run mixes both epochs, second half is all
+        // new-epoch — mixed traffic across the swap boundary.
+        const std::uint64_t epoch = (i < kOpsPerThread / 2) ? rng.Below(2) : 1;
+        const std::string key = "q" + std::to_string(rng.Below(32));
+        if (rng.Below(2) == 0) {
+          const auto hit = cache.Get(key, epoch);
+          if (hit != nullptr &&
+              hit->rel.key(0, 0) / kSaltStride != static_cast<Key>(epoch)) {
+            stale_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          cache.Put(key, MakeAnswer(2, 1, static_cast<Key>(epoch) * kSaltStride),
+                    epoch);
+        }
+      }
+    });
+  }
+  // The swapper: epoch 0 retires repeatedly while traffic flows.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 25; ++i) {
+      cache.ClearEpoch(0);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(stale_hits.load(), 0u);
+  const CacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, s.inserts - s.evictions - s.invalidations);
+}
+
 // Failover integration: a shard killed for a finite window comes back with
 // cold caches (restart semantics), while the surviving shard keeps its
 // entries — and every answer stays correct throughout.

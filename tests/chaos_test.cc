@@ -9,6 +9,7 @@
 #include <string>
 
 #include "chaos/explorer.h"
+#include "chaos/refresh_chaos.h"
 #include "chaos/serve_chaos.h"
 #include "common/rng.h"
 
@@ -154,6 +155,76 @@ TEST(ServeChaos, UnpinnedScatterIsCaughtAsWrongAnswer) {
   chaos::ServeChaosOptions pinned = opts;
   pinned.pin_scatter_view = true;
   EXPECT_TRUE(chaos::RunServeChaosSearch(pinned).ok());
+}
+
+std::size_t RefreshClauseCount(const FaultPlan& plan) {
+  return plan.refresh_kills.size() + plan.shard_kills.size() +
+         plan.shard_slows.size() + plan.disk_errors.size() +
+         plan.bit_flips.size() + plan.torn_writes.size();
+}
+
+TEST(RefreshChaos, RandomRefreshPlansAreDeterministicAndRoundTrip) {
+  Rng a(13), b(13);
+  for (int i = 0; i < 32; ++i) {
+    const FaultPlan pa = chaos::RandomRefreshPlan(a, 4, 120);
+    const FaultPlan pb = chaos::RandomRefreshPlan(b, 4, 120);
+    EXPECT_EQ(pa.ToSpec(), pb.ToSpec());
+    EXPECT_FALSE(pa.empty());
+    EXPECT_EQ(FaultPlan::Parse(pa.ToSpec()).ToSpec(), pa.ToSpec());
+    for (const auto& k : pa.refresh_kills) {
+      EXPECT_GE(k.phase, 0);
+      EXPECT_LE(k.phase, 5);
+    }
+  }
+}
+
+TEST(RefreshChaos, SmokeSearchFindsNoBlends) {
+  // The refresh invariant under randomized coordinator kills, snapshot
+  // corruption, and shard churn: every OK response — before, during, after
+  // the swap, and after crash recovery — is byte-identical to the pre- or
+  // post-refresh golden. Old or new, never a blend.
+  chaos::RefreshChaosOptions opts;
+  opts.plans = 8;
+  opts.seed = 21;
+  opts.shard_counts = {2, 4};
+  opts.rows = 400;
+  opts.requests = 100;
+  const chaos::ChaosReport report = chaos::RunRefreshChaosSearch(opts);
+  EXPECT_EQ(report.trials, 16);
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+}
+
+TEST(RefreshChaos, UnpinnedEpochBlendIsCaughtAndShrunk) {
+  // pin_epoch=false re-opens the naive single-phase swap: mid-commit-loop
+  // each shard answers from whatever epoch it last adopted, so a scatter
+  // straddling the commit frontier mixes two snapshots. The harness must
+  // catch that as a blend and shrink the plan — proving the invariant check
+  // has teeth and that end-to-end epoch pinning is load-bearing.
+  chaos::RefreshChaosOptions opts;
+  opts.pin_epoch = false;
+  opts.plans = 6;
+  opts.seed = 9;
+  opts.shard_counts = {2};
+  opts.rows = 400;
+  opts.delta_rows = 200;
+  opts.requests = 100;
+  opts.workload.alpha = 0.0;  // uniform: scatters get sampled mid-swap
+  const chaos::ChaosReport report = chaos::RunRefreshChaosSearch(opts);
+  ASSERT_FALSE(report.ok()) << "unpinned epochs produced no blend";
+  EXPECT_NE(report.failures[0].reason.find("BLEND"), std::string::npos)
+      << report.failures[0].reason;
+  const FaultPlan& minimal = report.failures[0].plan;
+  // The shrunk reproducer round-trips and is no bigger than the original —
+  // the bug lives in the swap itself, so ddmin strips the fault clauses
+  // down to (near) nothing.
+  EXPECT_EQ(FaultPlan::Parse(minimal.ToSpec()).ToSpec(), minimal.ToSpec());
+  EXPECT_LE(RefreshClauseCount(minimal),
+            RefreshClauseCount(report.failures[0].original));
+
+  // The identical search with epoch pinning in place is clean.
+  chaos::RefreshChaosOptions pinned = opts;
+  pinned.pin_epoch = true;
+  EXPECT_TRUE(chaos::RunRefreshChaosSearch(pinned).ok());
 }
 
 }  // namespace

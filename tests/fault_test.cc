@@ -132,6 +132,53 @@ TEST(FaultPlan, MalformedServeClausesThrow) {
   }
 }
 
+TEST(FaultPlan, ParsesRefreshClausesAndRoundTripsToSpec) {
+  const FaultPlan plan =
+      FaultPlan::Parse("refreshkill:3;refreshkill:0;tornwrite:0:1;seed:11");
+  ASSERT_EQ(plan.refresh_kills.size(), 2u);
+  EXPECT_EQ(plan.refresh_kills[0].phase, 3);
+  EXPECT_EQ(plan.refresh_kills[1].phase, 0);
+  EXPECT_FALSE(plan.empty());
+
+  const std::string spec = plan.ToSpec();
+  const FaultPlan reparsed = FaultPlan::Parse(spec);
+  EXPECT_EQ(reparsed.ToSpec(), spec);
+  ASSERT_EQ(reparsed.refresh_kills.size(), 2u);
+  EXPECT_EQ(reparsed.refresh_kills[0].phase, 3);
+}
+
+TEST(FaultPlan, MalformedRefreshClausesThrow) {
+  for (const char* bad :
+       {"refreshkill", "refreshkill:", "refreshkill:x", "refreshkill:-1",
+        "refreshkill:2.5", "refreshkill:3junk", "refreshkill:nan",
+        "refreshkill:2;refreshkill:2"}) {  // duplicate phase
+    EXPECT_THROW(FaultPlan::Parse(bad), SncubeError) << bad;
+  }
+  // The typed error names the offending clause.
+  try {
+    FaultPlan::Parse("refreshkill:1;refreshkill:zzz");
+    FAIL() << "expected throw";
+  } catch (const SncubeError& e) {
+    EXPECT_NE(std::string(e.what()).find("refreshkill:zzz"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultInjector, RefreshKillFiresOnlyAtItsPhases) {
+  const FaultPlan plan = FaultPlan::Parse("refreshkill:1;refreshkill:4");
+  // Refresh kills are not rank-scoped: any injector sees them.
+  FaultInjector inj(plan, 0);
+  EXPECT_NO_THROW(inj.OnRefreshPhase(0));
+  EXPECT_THROW(inj.OnRefreshPhase(1), InjectedFaultError);
+  EXPECT_NO_THROW(inj.OnRefreshPhase(2));
+  EXPECT_NO_THROW(inj.OnRefreshPhase(3));
+  EXPECT_THROW(inj.OnRefreshPhase(4), InjectedFaultError);
+  FaultInjector none(FaultPlan{}, 0);
+  for (int phase = 0; phase < 8; ++phase) {
+    EXPECT_NO_THROW(none.OnRefreshPhase(phase));
+  }
+}
+
 TEST(FaultInjector, WriteFaultStreamIsDeterministicAndSeparate) {
   const FaultPlan plan =
       FaultPlan::Parse("diskerr:0:0.5;bitflip:0:0.5;tornwrite:0:0.5;seed:7");

@@ -248,6 +248,8 @@ TEST_P(FaultPlanFuzz, WellFormedPlansRoundTripThroughToSpec) {
     if (rng.Below(2)) plan.disk_errors.push_back({rank, rng.NextDouble()});
     if (rng.Below(2)) plan.bit_flips.push_back({rank, rng.NextDouble()});
     if (rng.Below(2)) plan.torn_writes.push_back({rank, rng.NextDouble()});
+    // The duplicate rule for refreshkill is per phase; reuse the loop index.
+    if (rng.Below(2)) plan.refresh_kills.push_back({rank});
   }
   const std::string spec = plan.ToSpec();
   const FaultPlan reparsed = FaultPlan::Parse(spec);
@@ -257,13 +259,14 @@ TEST_P(FaultPlanFuzz, WellFormedPlansRoundTripThroughToSpec) {
   EXPECT_EQ(reparsed.disk_errors.size(), plan.disk_errors.size());
   EXPECT_EQ(reparsed.bit_flips.size(), plan.bit_flips.size());
   EXPECT_EQ(reparsed.torn_writes.size(), plan.torn_writes.size());
+  EXPECT_EQ(reparsed.refresh_kills.size(), plan.refresh_kills.size());
   EXPECT_EQ(reparsed.seed, plan.seed);
 }
 
 TEST_P(FaultPlanFuzz, RandomSpecSoupNeverYieldsAnOutOfRangePlan) {
   Rng rng(8100 + static_cast<std::uint64_t>(GetParam()));
-  const char* kinds[] = {"kill", "slow", "diskerr", "bitflip",
-                         "tornwrite", "seed", "junk", ""};
+  const char* kinds[] = {"kill",      "slow", "diskerr",     "bitflip",
+                         "tornwrite", "seed", "refreshkill", "junk", ""};
   const char* values[] = {"0",    "1",   "0.5", "1.5",  "-1", "2.0",
                           "3",    "nan", "inf", "1e99", "x",  "0.5junk",
                           "18446744073709551615", ""};
@@ -272,7 +275,7 @@ TEST_P(FaultPlanFuzz, RandomSpecSoupNeverYieldsAnOutOfRangePlan) {
     std::string spec;
     for (std::size_t c = rng.Below(5); c > 0; --c) {
       if (!spec.empty()) spec += ';';
-      spec += kinds[rng.Below(8)];
+      spec += kinds[rng.Below(9)];
       if (rng.Below(4) != 0) {
         spec += ':';
         spec += std::to_string(rng.Below(9));
@@ -294,6 +297,9 @@ TEST_P(FaultPlanFuzz, RandomSpecSoupNeverYieldsAnOutOfRangePlan) {
       for (const auto& tw : plan.torn_writes) {
         EXPECT_GE(tw.rate, 0.0) << spec;
         EXPECT_LE(tw.rate, 1.0) << spec;
+      }
+      for (const auto& rk : plan.refresh_kills) {
+        EXPECT_GE(rk.phase, 0) << spec;
       }
       // What parsed must round-trip: Parse(ToSpec(p)) is total on Parse's
       // own output.

@@ -4,13 +4,15 @@
 Enforces invariants no off-the-shelf checker knows about, as compile-time
 (well, lint-time) facts instead of code-review folklore. Rules:
 
-  wall-clock       src/core, src/io, src/net, src/obs must not read host
-                   time (system_clock/steady_clock/time()/...). Simulated
-                   time flows only through the BSP clock (Comm::Charge*) and
-                   DiskModel; a host-clock read in a simulation-charged path
-                   silently corrupts every figure, and a host-clock read in
-                   src/obs would make traces nondeterministic (golden-file
-                   tested). (src/serve measures real serving latency and is
+  wall-clock       src/core, src/io, src/net, src/obs, src/refresh must not
+                   read host time (system_clock/steady_clock/time()/...).
+                   Simulated time flows only through the BSP clock
+                   (Comm::Charge*) and DiskModel; a host-clock read in a
+                   simulation-charged path silently corrupts every figure, a
+                   host-clock read in src/obs would make traces
+                   nondeterministic (golden-file tested), and a host-clock
+                   read in src/refresh (e.g. a timed retry loop) would make
+                   refresh chaos trials unreplayable. (src/serve measures real serving latency and is
                    exempt — serve-side traces get wall time through
                    serve/wall_clock.h; src/common/timer.h is the one
                    sanctioned wall-clock wrapper for benches.)
@@ -52,9 +54,10 @@ Enforces invariants no off-the-shelf checker knows about, as compile-time
                    races. The production clock implementation
                    (serve/retry_policy.cc) is the one sanctioned sleep site.
 
-  raw-file-write   src/core, src/io, src/net must not open files for
-                   writing directly (std::ofstream / fopen). Durable bytes
-                   in those layers go through the checksummed io layer
+  raw-file-write   src/core, src/io, src/net, src/refresh must not open
+                   files for writing directly (std::ofstream / fopen).
+                   Durable bytes in those layers go through the checksummed
+                   io layer
                    (io/checked_file.h, io/run_store.h) so every artifact
                    carries a CRC32C seal and every write passes the
                    DiskModel's fault-injection sites; a raw write silently
@@ -85,7 +88,8 @@ import sys
 RULES = [
     {
         "id": "wall-clock",
-        "paths": ("src/core/", "src/io/", "src/net/", "src/obs/"),
+        "paths": ("src/core/", "src/io/", "src/net/", "src/obs/",
+                  "src/refresh/"),
         "exempt": (),
         "pattern": re.compile(
             r"system_clock|steady_clock|high_resolution_clock"
@@ -161,7 +165,7 @@ RULES = [
     },
     {
         "id": "raw-file-write",
-        "paths": ("src/core/", "src/io/", "src/net/"),
+        "paths": ("src/core/", "src/io/", "src/net/", "src/refresh/"),
         # The checksummed io layer is where the raw writes are supposed to
         # live — everything else goes through it.
         "exempt": ("src/io/checked_file.cc",),

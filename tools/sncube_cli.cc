@@ -17,11 +17,17 @@
 // then serves with lattice routing. `serve --bench` replays a synthetic
 // Zipf-skewed query mix through the concurrent CubeServer (src/serve/) and
 // prints its StatsSnapshot as JSON.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "chaos/explorer.h"
+#include "chaos/refresh_chaos.h"
 #include "chaos/serve_chaos.h"
 #include "common/env.h"
 #include "common/timer.h"
@@ -42,6 +49,9 @@
 #include "obs/trace.h"
 #include "query/engine.h"
 #include "query/greedy_select.h"
+#include "refresh/delta.h"
+#include "refresh/refresh.h"
+#include "refresh/snapshot.h"
 #include "relation/csv.h"
 #include "seqcube/seq_cube.h"
 #include "seqcube/view_store.h"
@@ -69,6 +79,7 @@ constexpr const char* kHelpText =
     "  build      build the data cube (sequential or simulated parallel)\n"
     "  info       list the views stored in a cube directory\n"
     "  query      answer one group-by query from a cube directory\n"
+    "  refresh    ingest a delta relation and refresh a cube directory\n"
     "  serve      replay a synthetic query mix through the CubeServer\n"
     "  chaos      randomized fault-injection search with plan shrinking\n"
     "  help       print this text\n"
@@ -116,6 +127,16 @@ constexpr const char* kHelpText =
     "  --json             machine-readable output\n"
     "  --trace-out FILE   write a Chrome trace of the query (wall clock)\n"
     "\n"
+    "sncube refresh --cube cubedir --delta delta.csv\n"
+    "  ingests an insert-only delta: cubes the delta over the affected views\n"
+    "  (Section 3 partial schedule), merges it into the stored cube, and\n"
+    "  rewrites the cube directory (DESIGN.md §14).\n"
+    "  --cube DIR         cube directory to refresh in place\n"
+    "  --delta FILE       delta fact rows (CSV with the cube's columns)\n"
+    "  --snapshot-dir DIR also commit the refreshed cube into a crash-safe\n"
+    "                     snapshot store as the next epoch (sealed manifest;\n"
+    "                     a crash leaves the previous epoch committed)\n"
+    "\n"
     "sncube serve --cube cubedir --bench\n"
     "  --cube DIR         cube directory to serve\n"
     "  --bench            replay a synthetic query mix (required)\n"
@@ -142,6 +163,11 @@ constexpr const char* kHelpText =
     "                            a shard's circuit breaker (default 5)\n"
     "  --breaker-cooldown-ms MS  open-state cooldown before half-open probes\n"
     "                            (default 250)\n"
+    "  --refresh-every Q  with --shards >= 2: run an online refresh (epoch\n"
+    "                     swap under live traffic) after every Q routed\n"
+    "                     queries (default 0 = no refreshes)\n"
+    "  --refresh-rows R   synthetic delta rows per refresh (default 1000)\n"
+    "  --snapshot-dir DIR refresh snapshot store (default: temp directory)\n"
     "\n"
     "sncube chaos --plans N --seed S\n"
     "  runs N random fault plans per cluster size; each trial builds a cube\n"
@@ -162,7 +188,16 @@ constexpr const char* kHelpText =
     "                     Deterministic under a manual clock; failing plans\n"
     "                     are shrunk like build plans. With --serve:\n"
     "  --shards N0,N1,... shard counts to exercise (default 2,4)\n"
-    "  --requests N       router requests per trial (default 200)\n";
+    "  --requests N       router requests per trial (default 200)\n"
+    "  --refresh          search the ONLINE REFRESH path instead: plans mix\n"
+    "                     coordinator kills at two-phase-swap phases\n"
+    "                     (refreshkill:K), snapshot disk corruption, and\n"
+    "                     shard churn while the query stream interleaves\n"
+    "                     with every swap step. Invariant: old or new, never\n"
+    "                     a blend — every response matches the pre- or\n"
+    "                     post-refresh golden, and crash recovery restores\n"
+    "                     one of the two cubes byte-identically. Takes the\n"
+    "                     same --shards/--requests flags as --serve.\n";
 
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -499,14 +534,57 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// refresh: one offline delta-ingestion pass over a cube directory — cube
+// the delta over the affected views, merge, rewrite the store. The online
+// counterpart (epoch swap under live traffic) is serve --refresh-every.
+int CmdRefresh(const Args& args) {
+  const std::string cube_dir = args.Require("cube");
+  const ViewStore store(cube_dir);
+  const Schema schema = store.LoadSchema();
+  const CubeResult base = store.LoadCube();
+
+  const std::string delta_path = args.Require("delta");
+  std::ifstream is(delta_path);
+  if (!is.good()) Usage(("cannot read " + delta_path).c_str());
+  const Relation delta = ReadCsv(is);
+  if (!delta.empty() && delta.width() != schema.dims()) {
+    Usage("delta column count does not match the cube's dimensionality");
+  }
+
+  WallTimer timer;
+  const std::vector<ViewId> affected = AffectedViews(base, delta);
+  const CubeResult merged =
+      MergeDeltaCube(base, ComputeDeltaCube(delta, schema, affected));
+
+  // Optionally commit the refreshed cube into a crash-safe snapshot store
+  // as the epoch after the newest committed one (1 for a fresh store).
+  std::uint64_t epoch = 0;
+  if (const auto snap_dir = args.Get("snapshot-dir")) {
+    DiskModel disk;
+    SnapshotStore snap(*snap_dir, disk);
+    epoch = snap.Recover().epoch + 1;
+    snap.WriteEpoch(epoch, merged);
+    snap.AppendCommit(epoch);
+  }
+  ViewStore out(cube_dir);
+  out.SaveCube(merged, schema);
+  std::printf("{\"delta_rows\":%zu,\"views_refreshed\":%zu,"
+              "\"merged_rows\":%llu,\"snapshot_epoch\":%llu,"
+              "\"wall_s\":%.4f}\n",
+              delta.size(), affected.size(),
+              static_cast<unsigned long long>(merged.TotalRows()),
+              static_cast<unsigned long long>(epoch), timer.Seconds());
+  return 0;
+}
+
 // serve --shards N (N >= 2): slice the cube over N in-process shard nodes
 // and replay the mix through the resilient Router instead of one CubeServer.
 // Runs on the wall clock; any --fault-plan serve clauses key on the router's
 // request sequence numbers, so a plan stays meaningful at any request rate.
 int CmdServeSharded(const Args& args, const CubeResult& cube,
-                    const ServerOptions& server_opts, const QueryMix& mix,
-                    const WorkloadSpec& wspec, std::int64_t total_queries,
-                    int clients, int shards) {
+                    const Schema& schema, const ServerOptions& server_opts,
+                    const QueryMix& mix, const WorkloadSpec& wspec,
+                    std::int64_t total_queries, int clients, int shards) {
   ShardSetOptions sopts;
   sopts.shards = shards;
   sopts.server = server_opts;
@@ -531,8 +609,59 @@ int CmdServeSharded(const Args& args, const CubeResult& cube,
     Usage("--retries must be >= 0 and --breaker-failures >= 1");
   }
 
+  const std::int64_t refresh_every =
+      std::atoll(args.Get("refresh-every").value_or("0").c_str());
+  const std::int64_t refresh_rows =
+      std::atoll(args.Get("refresh-rows").value_or("1000").c_str());
+  if (refresh_every < 0 || refresh_rows < 1) {
+    Usage("--refresh-every must be >= 0 and --refresh-rows >= 1");
+  }
+
   ShardSet shard_set(cube, sopts, plan);
   Router router(shard_set, ropts);
+
+  // Online refresh under traffic: a background coordinator ingests a
+  // synthetic delta (deterministic: seed 7777+k for the k-th refresh) and
+  // two-phase-swaps the refreshed epoch in after every `refresh_every`
+  // routed queries. Clients keep hammering the router throughout — each
+  // request answers from exactly one pinned epoch.
+  std::atomic<std::int64_t> processed{0};
+  std::atomic<bool> serve_done{false};
+  std::unique_ptr<RefreshCoordinator> refresher;
+  std::thread refresh_thread;
+  if (refresh_every > 0) {
+    RefreshOptions refresh_opts;
+    refresh_opts.dir = args.Get("snapshot-dir").value_or(
+        (std::filesystem::temp_directory_path() /
+         ("sncube_serve_refresh_" + std::to_string(::getpid()))).string());
+    refresher = std::make_unique<RefreshCoordinator>(
+        shard_set,
+        std::shared_ptr<const CubeResult>(&cube, [](const CubeResult*) {}),
+        schema, refresh_opts);
+    refresh_thread = std::thread([&] {
+      DatasetSpec dspec;
+      dspec.rows = refresh_rows;
+      for (int i = 0; i < schema.dims(); ++i) {
+        dspec.cardinalities.push_back(schema.cardinality(i));
+      }
+      for (std::uint64_t k = 1;
+           !serve_done.load(std::memory_order_acquire);) {
+        if (processed.load(std::memory_order_acquire) <
+            static_cast<std::int64_t>(k) * refresh_every) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        dspec.seed = 7777 + k;
+        try {
+          refresher->Refresh(GenerateDataset(dspec));
+        } catch (const SncubeError& e) {
+          std::fprintf(stderr, "refresh failed: %s\n", e.what());
+          break;
+        }
+        ++k;
+      }
+    });
+  }
 
   WallTimer timer;
   std::vector<std::thread> threads;
@@ -543,10 +672,13 @@ int CmdServeSharded(const Args& args, const CubeResult& cube,
                              (c < total_queries % clients ? 1 : 0);
       for (std::int64_t i = 0; i < n; ++i) {
         router.Execute(mix.Sample(rng));
+        processed.fetch_add(1, std::memory_order_release);
       }
     });
   }
   for (auto& t : threads) t.join();
+  serve_done.store(true, std::memory_order_release);
+  if (refresh_thread.joinable()) refresh_thread.join();
   const double wall_s = timer.Seconds();
 
   if (const auto summary_out = args.Get("summary-out")) {
@@ -559,11 +691,14 @@ int CmdServeSharded(const Args& args, const CubeResult& cube,
     obs::WriteTextFile(*summary_out, registry.ToJson());
   }
   const RouterStatsSnapshot stats = router.Stats();
+  const std::uint64_t refresh_epochs = shard_set.serving_epoch();
   shard_set.Shutdown();
   std::printf("{\"shards\":%d,\"clients\":%d,\"queries\":%lld,"
-              "\"wall_s\":%.4f,\"qps\":%.0f,\"router\":%s}\n",
+              "\"wall_s\":%.4f,\"qps\":%.0f,\"refresh_epochs\":%llu,"
+              "\"router\":%s}\n",
               shards, clients, static_cast<long long>(total_queries), wall_s,
               static_cast<double>(total_queries) / wall_s,
+              static_cast<unsigned long long>(refresh_epochs),
               stats.ToJson().c_str());
   return 0;
 }
@@ -599,11 +734,14 @@ int CmdServe(const Args& args) {
   const int shards = std::atoi(args.Get("shards").value_or("1").c_str());
   if (shards < 1) Usage("--shards must be >= 1");
   if (shards >= 2) {
-    return CmdServeSharded(args, cube, opts, mix, wspec, total_queries,
-                           clients, shards);
+    return CmdServeSharded(args, cube, schema, opts, mix, wspec,
+                           total_queries, clients, shards);
   }
   if (args.Get("fault-plan")) {
     Usage("serve --fault-plan requires --shards >= 2");
+  }
+  if (args.Get("refresh-every")) {
+    Usage("serve --refresh-every requires --shards >= 2");
   }
 
   const auto trace_out = args.Get("trace-out");
@@ -693,7 +831,48 @@ int CmdServeChaos(const Args& args) {
   return report.ok() ? 0 : 4;
 }
 
+// chaos --refresh: the online-refresh search (old-or-new, never a blend).
+// Same flag surface as --serve; fail-out lines are "<shards> <spec>".
+int CmdRefreshChaos(const Args& args) {
+  chaos::RefreshChaosOptions opts;
+  opts.plans = std::atoi(args.Get("plans").value_or("16").c_str());
+  opts.seed = static_cast<std::uint64_t>(
+      std::atoll(args.Get("seed").value_or("1").c_str()));
+  opts.rows = static_cast<std::uint64_t>(
+      std::atoll(args.Get("rows").value_or("500").c_str()));
+  opts.requests = std::atoi(args.Get("requests").value_or("120").c_str());
+  if (const auto shards = args.Get("shards")) {
+    opts.shard_counts.clear();
+    for (const auto& s : SplitCommas(*shards)) {
+      opts.shard_counts.push_back(std::atoi(s.c_str()));
+    }
+  }
+  if (opts.plans < 1 || opts.rows < 1 || opts.requests < 1 ||
+      opts.shard_counts.empty()) {
+    Usage("--plans, --rows and --requests must be >= 1, --shards non-empty");
+  }
+  for (const int s : opts.shard_counts) {
+    if (s < 2) Usage("chaos --refresh --shards entries must be >= 2");
+  }
+  opts.verbose = args.Has("verbose");
+
+  const chaos::ChaosReport report = chaos::RunRefreshChaosSearch(opts);
+  std::printf("%s\n", report.ToJson().c_str());
+  if (const auto fail_out = args.Get("fail-out")) {
+    if (!report.ok()) {
+      std::ofstream os(*fail_out, std::ios::app);
+      if (!os.good()) Usage(("cannot write " + *fail_out).c_str());
+      for (const auto& f : report.failures) {
+        os << f.procs << ' ' << f.plan.ToSpec() << '\n';
+      }
+      std::fprintf(stderr, "minimal failing plans: %s\n", fail_out->c_str());
+    }
+  }
+  return report.ok() ? 0 : 4;
+}
+
 int CmdChaos(const Args& args) {
+  if (args.Has("refresh")) return CmdRefreshChaos(args);
   if (args.Has("serve")) return CmdServeChaos(args);
   chaos::ChaosOptions opts;
   opts.plans = std::atoi(args.Get("plans").value_or("16").c_str());
@@ -742,11 +921,12 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc - 2, argv + 2,
                     {"local-trees", "min", "max", "json", "bench", "verbose",
-                     "serve"});
+                     "serve", "refresh"});
     if (cmd == "generate") return CmdGenerate(args);
     if (cmd == "build") return CmdBuild(args);
     if (cmd == "info") return CmdInfo(args);
     if (cmd == "query") return CmdQuery(args);
+    if (cmd == "refresh") return CmdRefresh(args);
     if (cmd == "serve") return CmdServe(args);
     if (cmd == "chaos") return CmdChaos(args);
   } catch (const std::exception& e) {
